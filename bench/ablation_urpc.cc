@@ -1,0 +1,164 @@
+// Ablations for the URPC / routing design choices called out in sections 4.6
+// and 5.1:
+//   (a) pipelining window (ring/queue length) vs sustained throughput,
+//   (b) the receive-side prefetch channel option (latency vs throughput),
+//   (c) NUMA-aware buffer placement for cross-package channels,
+//   (d) multicast send order: farthest-first vs nearest-first vs unordered.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "kernel/cpu_driver.h"
+#include "monitor/monitor.h"
+#include "sim/executor.h"
+#include "sim/stats.h"
+#include "skb/skb.h"
+#include "urpc/channel.h"
+
+namespace mk {
+namespace {
+
+using kernel::CpuDriver;
+using sim::Cycles;
+using sim::Task;
+
+Task<> Send(urpc::Channel& ch, int n, bool posted) {
+  for (int i = 0; i < n; ++i) {
+    if (posted) {
+      co_await ch.SendPosted(urpc::Message{});
+    } else {
+      co_await ch.Send(urpc::Message{});
+    }
+  }
+}
+
+Task<> Recv(urpc::Channel& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    (void)co_await ch.Recv();
+  }
+}
+
+double Throughput(urpc::ChannelOptions opts, bool posted) {
+  sim::Executor exec;
+  hw::Machine m(exec, hw::Amd8x4());
+  urpc::Channel ch(m, 0, 4, opts);
+  const int kMessages = 3000;
+  exec.Spawn(Send(ch, kMessages, posted));
+  exec.Spawn(Recv(ch, kMessages));
+  Cycles elapsed = exec.Run();
+  return 1000.0 * kMessages / static_cast<double>(elapsed);
+}
+
+// Multicast send-order ablation: measure the collective with the route's
+// aggregation nodes visited farthest-first (the SKB policy), nearest-first,
+// and in raw package order.
+double RouteOrder(const char* mode) {
+  sim::Executor exec;
+  hw::Machine machine(exec, hw::Amd8x4());
+  auto drivers = CpuDriver::BootAll(machine);
+  skb::Skb skb(machine);
+  skb.PopulateFromHardware();
+  exec.Spawn(skb.MeasureUrpcLatencies());
+  exec.Run();
+  // Rewrite the measured latencies to invert or flatten the ordering the
+  // NUMA-aware route builder sees.
+  if (std::string_view(mode) == "nearest-first") {
+    // Negate ordering by re-asserting inverted latencies.
+    auto rows = skb.facts().All("urpc_latency");
+    skb.facts().Retract("urpc_latency",
+                        {skb::FactStore::kWildcard, skb::FactStore::kWildcard,
+                         skb::FactStore::kWildcard});
+    for (auto& r : rows) {
+      skb.facts().Assert("urpc_latency", {r[0], r[1], 2000 - r[2]});
+    }
+  } else if (std::string_view(mode) == "unordered") {
+    skb.facts().Retract("urpc_latency",
+                        {skb::FactStore::kWildcard, skb::FactStore::kWildcard,
+                         skb::FactStore::kWildcard});
+    auto rows = std::vector<std::int64_t>{};
+    (void)rows;  // no latency facts: route stays in package order
+  }
+  monitor::MonitorSystem sys(machine, skb, drivers);
+  sys.Boot();
+  sim::RunningStat stat;
+  exec.Spawn([](monitor::MonitorSystem& s, sim::RunningStat& out) -> Task<> {
+    monitor::OpFlags raw;
+    raw.raw = true;
+    raw.skip_tlb = true;
+    for (int i = 0; i < 10; ++i) {
+      auto r = co_await s.on(0).GlobalInvalidate(0x400000, 1,
+                                                 monitor::Protocol::kNumaMulticast, raw);
+      if (i > 0) {
+        out.Add(static_cast<double>(r.latency));
+      }
+    }
+    s.Shutdown();
+  }(sys, stat));
+  exec.Run();
+  return stat.mean();
+}
+
+}  // namespace
+}  // namespace mk
+
+int main() {
+  using namespace mk;
+  bench::PrintHeader("Ablation: URPC pipelining window (8x4 AMD, one-hop pair)");
+  bench::SeriesTable window("slots");
+  window.AddSeries("posted msgs/kcycle");
+  window.AddSeries("sync msgs/kcycle");
+  for (int slots : {1, 2, 4, 8, 16, 32, 64}) {
+    urpc::ChannelOptions opts;
+    opts.slots = slots;
+    window.AddRow(slots, {Throughput(opts, true), Throughput(opts, false)});
+  }
+  window.Print("%12.2f");
+  std::printf("\nShape: a one-slot ring forces a full round trip per message; the window\n"
+              "amortizes until the receiver's fetch path saturates (~16 slots, the\n"
+              "paper's queue length).\n");
+
+  bench::PrintHeader("Ablation: receive-side prefetch option");
+  for (bool prefetch : {false, true}) {
+    urpc::ChannelOptions opts;
+    opts.slots = 16;
+    opts.prefetch = prefetch;
+    std::printf("  prefetch=%-5s  throughput %6.2f msgs/kcycle\n",
+                prefetch ? "on" : "off", Throughput(opts, true));
+  }
+
+  bench::PrintHeader("Ablation: channel buffer NUMA placement (sender pkg 0, receiver pkg 3)");
+  for (int node : {-1, 0, 3}) {
+    sim::Executor exec;
+    hw::Machine m(exec, hw::Amd8x4());
+    urpc::ChannelOptions opts;
+    opts.slots = 16;
+    opts.numa_node = node;
+    urpc::Channel ch(m, 0, 12, opts);
+    const int kMessages = 3000;
+    exec.Spawn(Send(ch, kMessages, true));
+    exec.Spawn(Recv(ch, kMessages));
+    Cycles elapsed = exec.Run();
+    std::printf("  node=%-2d (%s) %8.2f msgs/kcycle\n", node,
+                node < 0 ? "default" : (node == 0 ? "sender-local" : "receiver-local"),
+                1000.0 * kMessages / static_cast<double>(elapsed));
+  }
+  std::printf(
+      "  (Placement is neutral for an uncontended stream - cache-to-cache transfers\n"
+      "  bypass the home node; it matters when the home controller is contended,\n"
+      "  which is why the monitors place tree buffers at the aggregation nodes.)\n");
+
+  bench::PrintHeader("Ablation: multicast send order (raw 32-core shootdown)");
+  for (const char* mode : {"farthest-first", "nearest-first", "unordered"}) {
+    std::printf("  %-15s %8.1f cycles\n", mode, RouteOrder(mode));
+  }
+  std::printf(
+      "\nFinding: on this machine the send order barely matters because HyperTransport's\n"
+      "broadcast probes flatten per-hop latency differences (Table 2: one-hop vs\n"
+      "two-hop differ by ~5 cycles), so every subtree costs about the same. The\n"
+      "paper's farthest-first order pays off on interconnects with strongly\n"
+      "distance-dependent latency; the SKB computes it from measurements either way.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared output helpers for the benchmark harnesses: every bench prints the
+// rows/series of the paper table or figure it regenerates, in simulated
+// cycles (the paper's metric).
+#ifndef MK_BENCH_BENCH_UTIL_H_
+#define MK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mk::bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// A column-oriented series table: first column is the x axis (e.g. cores),
+// remaining columns are named series. Mirrors the paper's figures.
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::string x_name) : x_name_(std::move(x_name)) {}
+
+  void AddSeries(std::string name) { series_names_.push_back(std::move(name)); }
+
+  void AddRow(double x, std::vector<double> values) {
+    rows_.push_back({x, std::move(values)});
+  }
+
+  void Print(const char* fmt = "%12.1f") const {
+    std::printf("%10s", x_name_.c_str());
+    for (const auto& n : series_names_) {
+      std::printf("%14s", n.c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) {
+      std::printf("%10.0f", r.x);
+      for (double v : r.values) {
+        std::printf("  ");
+        std::printf(fmt, v);
+      }
+      std::printf("\n");
+    }
+  }
+
+ private:
+  struct Row {
+    double x;
+    std::vector<double> values;
+  };
+  std::string x_name_;
+  std::vector<std::string> series_names_;
+  std::vector<Row> rows_;
+};
+
+// Paper-vs-measured comparison rows for tables.
+inline void PrintCompareHeader(const char* label) {
+  std::printf("%-34s %12s %12s %9s\n", label, "paper", "measured", "ratio");
+}
+
+inline void PrintCompareRow(const std::string& name, double paper, double measured) {
+  std::printf("%-34s %12.2f %12.2f %8.2fx\n", name.c_str(), paper, measured,
+              paper > 0 ? measured / paper : 0.0);
+}
+
+}  // namespace mk::bench
+
+#endif  // MK_BENCH_BENCH_UTIL_H_

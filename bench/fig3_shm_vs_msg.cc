@@ -1,0 +1,160 @@
+// Figure 3: comparison of the cost of updating shared state using shared
+// memory vs message passing, on the 4x4-core AMD system.
+//
+// SHM1-8: threads pinned to each core directly update the same 1/2/4/8 cache
+// lines (no locking); the coherence protocol migrates the lines.
+// MSG1/MSG8: client threads issue a lightweight RPC (one cache-line message)
+// to a single server core that performs the update on their behalf.
+// Server: per-operation service time observed at the server (excludes
+// queueing delay).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "sim/executor.h"
+#include "sim/stats.h"
+#include "sim/task.h"
+#include "urpc/channel.h"
+
+namespace mk {
+namespace {
+
+using sim::Addr;
+using sim::Cycles;
+using sim::RunningStat;
+using sim::Task;
+
+constexpr int kWarmupOps = 20;
+constexpr int kMeasuredOps = 120;
+
+Task<> ShmWorker(hw::Machine& m, int core, Addr region, int lines, RunningStat& stat) {
+  // Threads never start in perfect lockstep; the stagger also breaks the
+  // artificial resonance a deterministic simulator would otherwise show
+  // between the op period and the controller service period.
+  co_await m.exec().Delay(static_cast<Cycles>(core) * 13 + 1);
+  for (int op = 0; op < kWarmupOps + kMeasuredOps; ++op) {
+    Cycles t0 = m.exec().now();
+    co_await m.mem().Write(core, region, static_cast<std::uint64_t>(lines) * sim::kCacheLineBytes);
+    if (op >= kWarmupOps) {
+      stat.Add(static_cast<double>(m.exec().now() - t0));
+    }
+  }
+}
+
+double RunShm(int cores, int lines) {
+  sim::Executor exec;
+  hw::Machine m(exec, hw::Amd4x4());
+  Addr region = m.mem().AllocLines(0, static_cast<std::uint64_t>(lines));
+  RunningStat stat;
+  for (int c = 0; c < cores; ++c) {
+    exec.Spawn(ShmWorker(m, c, region, lines, stat));
+  }
+  exec.Run();
+  return stat.mean();
+}
+
+struct MsgClientState {
+  std::unique_ptr<urpc::Channel> req;
+  std::unique_ptr<urpc::Channel> resp;
+};
+
+Task<> MsgServer(hw::Machine& m, std::vector<MsgClientState>& clients, Addr state, int lines,
+                 int total_ops, RunningStat& server_stat) {
+  int done = 0;
+  while (done < total_ops) {
+    bool any = false;
+    for (auto& cl : clients) {
+      if (!cl.req->HasMessage()) {
+        continue;
+      }
+      any = true;
+      Cycles t0 = m.exec().now();
+      urpc::Message msg;
+      (void)co_await cl.req->TryRecv(&msg);
+      // Perform the requested update on the server's local copy of the state.
+      co_await m.mem().Write(0, state, static_cast<std::uint64_t>(lines) * sim::kCacheLineBytes);
+      co_await cl.resp->SendPosted(urpc::Message{});
+      server_stat.Add(static_cast<double>(m.exec().now() - t0));
+      ++done;
+    }
+    if (!any) {
+      co_await m.exec().Delay(40);  // poll granularity
+    }
+  }
+}
+
+Task<> MsgClient(hw::Machine& m, MsgClientState& cl, int ops, RunningStat& stat) {
+  for (int op = 0; op < ops; ++op) {
+    Cycles t0 = m.exec().now();
+    co_await cl.req->Send(urpc::Message{});
+    (void)co_await cl.resp->Recv();
+    if (op >= kWarmupOps) {
+      stat.Add(static_cast<double>(m.exec().now() - t0));
+    }
+  }
+}
+
+// Returns {client mean latency, server mean service time}.
+std::pair<double, double> RunMsg(int cores, int lines) {
+  sim::Executor exec;
+  hw::Machine m(exec, hw::Amd4x4());
+  int n_clients = cores - 1;
+  if (n_clients < 1) {
+    return {0, 0};
+  }
+  Addr state = m.mem().AllocLines(0, static_cast<std::uint64_t>(lines));
+  std::vector<MsgClientState> clients(static_cast<std::size_t>(n_clients));
+  for (int i = 0; i < n_clients; ++i) {
+    urpc::ChannelOptions opts;
+    opts.slots = 2;
+    opts.prefetch = true;  // the server polls a stride of request lines
+    clients[static_cast<std::size_t>(i)].req =
+        std::make_unique<urpc::Channel>(m, i + 1, 0, opts);
+    clients[static_cast<std::size_t>(i)].resp =
+        std::make_unique<urpc::Channel>(m, 0, i + 1);
+  }
+  RunningStat client_stat;
+  RunningStat server_stat;
+  const int ops_per_client = kWarmupOps + kMeasuredOps;
+  exec.Spawn(MsgServer(m, clients, state, lines, ops_per_client * n_clients, server_stat));
+  for (int i = 0; i < n_clients; ++i) {
+    exec.Spawn(MsgClient(m, clients[static_cast<std::size_t>(i)], ops_per_client, client_stat));
+  }
+  exec.Run();
+  return {client_stat.mean(), server_stat.mean()};
+}
+
+}  // namespace
+}  // namespace mk
+
+int main() {
+  using namespace mk;
+  bench::PrintHeader(
+      "Figure 3: shared-memory vs message-passing update cost (4x4-core AMD, cycles/op)");
+  bench::SeriesTable table("cores");
+  for (const char* s : {"SHM1", "SHM2", "SHM4", "SHM8", "MSG1", "MSG8", "Server"}) {
+    table.AddSeries(s);
+  }
+  for (int cores = 2; cores <= 16; cores += 2) {
+    std::vector<double> row;
+    for (int lines : {1, 2, 4, 8}) {
+      row.push_back(RunShm(cores, lines));
+    }
+    auto [msg1, srv1] = RunMsg(cores, 1);
+    auto [msg8, srv8] = RunMsg(cores, 8);
+    (void)srv1;
+    row.push_back(msg1);
+    row.push_back(msg8);
+    row.push_back(srv8);
+    table.AddRow(cores, std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: SHM cost grows ~linearly with cores x lines (~12,000 cycles at\n"
+      "16 cores x 8 lines); MSG grows linearly with clients (queueing) but stays below\n"
+      "SHM4 for >= 4-line updates; Server per-op cost stays flat.\n");
+  return 0;
+}

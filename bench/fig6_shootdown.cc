@@ -1,0 +1,84 @@
+// Figure 6: comparison of TLB shootdown protocols on the 8x4-core AMD
+// system - the cost of the raw inter-core messaging mechanisms (without TLB
+// invalidation) for Broadcast, Unicast, Multicast, and NUMA-Aware Multicast.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "kernel/cpu_driver.h"
+#include "monitor/monitor.h"
+#include "sim/executor.h"
+#include "sim/stats.h"
+#include "skb/skb.h"
+
+namespace mk {
+namespace {
+
+using kernel::CpuDriver;
+using monitor::OpFlags;
+using monitor::Protocol;
+using sim::Cycles;
+using sim::Task;
+
+Task<> Driver(monitor::MonitorSystem& sys, Protocol proto, int ncores, int iters,
+              sim::RunningStat& stat) {
+  OpFlags flags;
+  flags.raw = true;       // raw messaging mechanism...
+  flags.skip_tlb = true;  // ...without TLB invalidation
+  for (int i = 0; i < iters; ++i) {
+    auto result = co_await sys.on(0).GlobalInvalidate(
+        0x400000, 1, proto, flags, static_cast<std::uint16_t>(ncores));
+    if (i > 0) {  // first op warms channels
+      stat.Add(static_cast<double>(result.latency));
+    }
+  }
+  sys.Shutdown();
+}
+
+double Measure(Protocol proto, int ncores) {
+  sim::Executor exec;
+  hw::Machine machine(exec, hw::Amd8x4());
+  auto drivers = CpuDriver::BootAll(machine);
+  skb::Skb skb(machine);
+  skb.PopulateFromHardware();
+  exec.Spawn(skb.MeasureUrpcLatencies());
+  exec.Run();  // boot-time measurement completes before the monitors start
+  monitor::MonitorSystem sys(machine, skb, drivers);
+  sys.Boot();
+  sim::RunningStat stat;
+  exec.Spawn(Driver(sys, proto, ncores, 12, stat));
+  exec.Run();
+  return stat.mean();
+}
+
+}  // namespace
+}  // namespace mk
+
+int main() {
+  using namespace mk;
+  bench::PrintHeader(
+      "Figure 6: TLB shootdown protocols, raw messaging cost (8x4-core AMD, cycles)");
+  bench::SeriesTable table("cores");
+  for (Protocol p : {Protocol::kBroadcast, Protocol::kUnicast, Protocol::kMulticast,
+                     Protocol::kNumaMulticast}) {
+    table.AddSeries(monitor::ProtocolName(p));
+  }
+  for (int cores = 2; cores <= 32; cores += 2) {
+    std::vector<double> row;
+    for (Protocol p : {Protocol::kBroadcast, Protocol::kUnicast, Protocol::kMulticast,
+                       Protocol::kNumaMulticast}) {
+      row.push_back(Measure(p, cores));
+    }
+    table.AddRow(cores, std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape at 32 cores: Broadcast ~13k (worst; every slave pulls the line\n"
+      "from the master's cache), Unicast ~11k (linear), Multicast ~5k (one message\n"
+      "per package, parallel fan-out in the shared L3), NUMA-Aware Multicast lowest\n"
+      "(~3-4k) and flattest, stepping only as tree levels grow.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Wall-time microbenchmarks of the simulator itself (google-benchmark).
+//
+// Unlike every other bench target (which reports *simulated* cycles, the
+// paper's metric), this one measures how fast the discrete-event simulator
+// and its core data structures run on the host — useful when growing the
+// experiments.
+#include <benchmark/benchmark.h>
+
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "sim/executor.h"
+#include "sim/random.h"
+#include "skb/skb.h"
+#include "urpc/channel.h"
+
+namespace {
+
+using namespace mk;
+using sim::Cycles;
+using sim::Task;
+
+void BM_ExecutorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Executor exec;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      exec.CallAt(static_cast<Cycles>(i), [&sink] { ++sink; });
+    }
+    exec.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ExecutorEventDispatch);
+
+Task<> DelayLoop(sim::Executor& exec, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await exec.Delay(10);
+  }
+}
+
+void BM_CoroutineDelayLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Executor exec;
+    exec.Spawn(DelayLoop(exec, 1000));
+    exec.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineDelayLoop);
+
+Task<> WriteLoop(hw::Machine& m, sim::Addr addr, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await m.mem().Write(i % 4, addr);
+  }
+}
+
+void BM_CoherenceTransactions(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Executor exec;
+    hw::Machine m(exec, hw::Amd4x4());
+    auto addr = m.mem().AllocLines(0, 1);
+    exec.Spawn(WriteLoop(m, addr, 1000));
+    exec.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoherenceTransactions);
+
+Task<> Stream(urpc::Channel& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await ch.SendPosted(urpc::Message{});
+  }
+}
+
+Task<> Drain(urpc::Channel& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    (void)co_await ch.Recv();
+  }
+}
+
+void BM_UrpcChannelStream(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Executor exec;
+    hw::Machine m(exec, hw::Amd4x4());
+    urpc::Channel ch(m, 0, 4);
+    exec.Spawn(Stream(ch, 1000));
+    exec.Spawn(Drain(ch, 1000));
+    exec.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_UrpcChannelStream);
+
+void BM_SkbRouteConstruction(benchmark::State& state) {
+  sim::Executor exec;
+  hw::Machine m(exec, hw::Amd8x4());
+  skb::Skb skb(m);
+  skb.PopulateFromHardware();
+  for (auto _ : state) {
+    auto route = skb.BuildMulticastRoute(0, true);
+    benchmark::DoNotOptimize(route);
+  }
+}
+BENCHMARK(BM_SkbRouteConstruction);
+
+void BM_RngThroughput(benchmark::State& state) {
+  sim::Rng rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc ^= rng.Next();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

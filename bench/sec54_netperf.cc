@@ -1,0 +1,167 @@
+// Section 5.4, "Network throughput": UDP echo over a (simulated) Intel e1000
+// on the 2x4-core Intel machine. The driver runs as its own process and
+// communicates with the single-core echo application over URPC packet
+// channels; the network stack is linked into the application's domain (lwIP
+// style). Load generators inject UDP traffic at a configurable rate; we
+// report the achieved echo throughput. Paper: 951.7 Mbit/s with 1000-byte
+// payloads, close to saturating the card (Linux: 951 Mbit/s).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "net/nic.h"
+#include "net/packet_channel.h"
+#include "net/stack.h"
+#include "sim/executor.h"
+
+namespace mk {
+namespace {
+
+using net::Packet;
+using sim::Cycles;
+using sim::Task;
+
+constexpr int kDriverCore = 2;
+constexpr int kAppCore = 3;  // same package as the driver (best placement)
+constexpr std::size_t kPayload = 1000;
+constexpr net::Ipv4Addr kServerIp = net::MakeIp(10, 0, 0, 1);
+constexpr net::Ipv4Addr kClientIp = net::MakeIp(10, 0, 0, 9);
+const net::MacAddr kServerMac{2, 0, 0, 0, 0, 1};
+const net::MacAddr kClientMac{2, 0, 0, 0, 0, 9};
+
+Packet EchoRequest() {
+  net::EthHeader eth{kServerMac, kClientMac, net::kEtherTypeIpv4};
+  net::IpHeader ip;
+  ip.src = kClientIp;
+  ip.dst = kServerIp;
+  std::vector<std::uint8_t> payload(kPayload, 0x33);
+  return BuildUdpFrame(eth, ip, net::UdpHeader{4000, 7, 0}, payload.data(), payload.size());
+}
+
+// Load generator: offered load in Mbit/s; frames spaced accordingly. The
+// wire transfer itself occupies (frame+framing) at line rate, so the idle gap
+// is the inter-frame period minus the wire time.
+Task<> Generator(hw::Machine& m, net::SimNic& nic, double mbps, int frames) {
+  const double bits_per_frame = (kPayload + 42.0 + 24.0) * 8.0;
+  const auto period =
+      static_cast<Cycles>(bits_per_frame / (mbps * 1e6) * m.spec().clock_ghz * 1e9);
+  const Cycles wire = static_cast<Cycles>(kPayload + 42 + 24) * nic.CyclesPerByte();
+  const Cycles gap = period > wire ? period - wire : 0;
+  for (int i = 0; i < frames; ++i) {
+    co_await m.exec().Delay(gap);
+    co_await nic.InjectFromWire(EchoRequest());
+  }
+}
+
+// The e1000 driver process: polls RX while busy, re-enables interrupts when
+// idle; forwards frames to the app and transmits what the app returns.
+Task<> Driver(hw::Machine& m, net::SimNic& nic, net::PacketChannel& to_app,
+              net::PacketChannel& from_app, int total, int* echoed_out) {
+  int rx_left = total;
+  int tx_left = total;
+  while (rx_left > 0 || tx_left > 0) {
+    bool any = false;
+    if (rx_left > 0 && nic.RxReady()) {
+      nic.SetInterruptsEnabled(false);
+      auto frame = co_await nic.DriverRxPop(kDriverCore);
+      if (frame) {
+        --rx_left;
+        co_await to_app.Send(std::move(*frame));
+        any = true;
+      }
+    }
+    if (tx_left > 0 && from_app.HasPacket()) {
+      Packet frame = co_await from_app.Recv();
+      if (co_await nic.DriverTxPush(kDriverCore, std::move(frame))) {
+        --tx_left;
+        ++*echoed_out;
+      }
+      any = true;
+    }
+    if (!any) {
+      nic.SetInterruptsEnabled(true);
+      // Block until work arrives (IRQ or app channel); the paper's driver
+      // would trap here, charged on wake.
+      if (!nic.RxReady() && !from_app.HasPacket()) {
+        if (rx_left > 0) {
+          co_await nic.rx_irq().WaitTimeout(20000);
+        } else {
+          co_await from_app.readable().WaitTimeout(20000);
+        }
+        co_await m.Trap(kDriverCore);
+      }
+    }
+  }
+}
+
+// The echo application: full stack input, swap addresses, send back.
+Task<> EchoApp(net::NetStack& stack, net::PacketChannel& from_driver, int total) {
+  auto& sock = stack.UdpBind(7);
+  int handled = 0;
+  while (handled < total) {
+    Packet frame = co_await from_driver.Recv();
+    co_await stack.Input(std::move(frame));
+    net::NetStack::UdpDatagram d;
+    while (sock.TryRecv(&d)) {
+      co_await stack.UdpSendTo(7, d.src_ip, d.src_port, std::move(d.payload));
+      ++handled;
+    }
+  }
+}
+
+// The load generators' receive side: drains echoed frames off the wire.
+Task<> WireSink(net::SimNic& nic, int total, int* received) {
+  while (*received < total) {
+    Packet p;
+    while (nic.WirePop(&p)) {
+      ++*received;
+    }
+    if (*received < total) {
+      co_await nic.wire_out_ready().Wait();
+    }
+  }
+}
+
+double RunEcho(double offered_mbps) {
+  sim::Executor exec;
+  hw::Machine m(exec, hw::Intel2x4());
+  net::SimNic::Config cfg;
+  cfg.irq_core = kDriverCore;
+  net::SimNic nic(m, cfg);
+  net::NetStack app(m, kAppCore, kServerIp, kServerMac);
+  app.AddArp(kClientIp, kClientMac);
+  net::PacketChannel to_app(m, kDriverCore, kAppCore, net::PacketChannel::Options{});
+  net::PacketChannel from_app(m, kAppCore, kDriverCore, net::PacketChannel::Options{});
+  app.SetOutput([&from_app](Packet p) -> Task<> { co_await from_app.Send(std::move(p)); });
+  const int kFrames = 600;
+  int pushed = 0;
+  int echoed = 0;
+  exec.Spawn(Generator(m, nic, offered_mbps, kFrames));
+  exec.Spawn(Driver(m, nic, to_app, from_app, kFrames, &pushed));
+  exec.Spawn(EchoApp(app, to_app, kFrames));
+  exec.Spawn(WireSink(nic, kFrames, &echoed));
+  Cycles elapsed = exec.Run();
+  double seconds = static_cast<double>(elapsed) / (m.spec().clock_ghz * 1e9);
+  return echoed * kPayload * 8.0 / seconds / 1e6;
+}
+
+}  // namespace
+}  // namespace mk
+
+int main() {
+  using namespace mk;
+  bench::PrintHeader(
+      "Section 5.4: UDP echo throughput over e1000 (2x4-core Intel, 1000-byte payloads)");
+  bench::SeriesTable table("offered Mb/s");
+  table.AddSeries("echoed Mb/s");
+  for (double offered : {200.0, 400.0, 600.0, 800.0, 950.0, 983.0}) {
+    table.AddRow(offered, {RunEcho(offered)});
+  }
+  table.Print("%12.1f");
+  std::printf(
+      "\nPaper: 951.7 Mbit/s echo payload throughput, close to saturating the card\n"
+      "(Linux on the same hardware: 951 Mbit/s). The echo pipeline (driver process,\n"
+      "URPC channels, lwIP-style stack in the app domain) keeps up with the wire.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table 1: LRPC latency (one-way, user program to user program) on the four
+// paper platforms.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "kernel/cpu_driver.h"
+#include "sim/executor.h"
+#include "sim/stats.h"
+
+namespace mk {
+namespace {
+
+using kernel::CpuDriver;
+using kernel::LrpcMsg;
+using sim::Cycles;
+using sim::Task;
+
+Task<> Caller(sim::Executor& exec, CpuDriver& drv, kernel::EndpointId ep, int iters,
+              sim::RunningStat& stat, Cycles* handler_entry) {
+  for (int i = 0; i < iters; ++i) {
+    Cycles t0 = exec.now();
+    co_await drv.LrpcCall(ep, LrpcMsg{});
+    stat.Add(static_cast<double>(*handler_entry - t0));
+  }
+}
+
+}  // namespace
+}  // namespace mk
+
+int main() {
+  using namespace mk;
+  bench::PrintHeader("Table 1: LRPC one-way latency");
+  std::printf("%-20s %10s %6s %8s   %s\n", "System", "cycles", "(sd)", "ns", "paper");
+  struct Row {
+    hw::PlatformSpec spec;
+    double paper_cycles;
+    double paper_ns;
+  };
+  std::vector<Row> rows = {{hw::Intel2x4(), 845, 318},
+                           {hw::Amd2x2(), 757, 270},
+                           {hw::Amd4x4(), 1463, 585},
+                           {hw::Amd8x4(), 1549, 774}};
+  for (auto& row : rows) {
+    sim::Executor exec;
+    hw::Machine m(exec, row.spec);
+    auto drivers = kernel::CpuDriver::BootAll(m);
+    kernel::CpuDriver& drv = *drivers[0];
+    sim::Cycles handler_entry = 0;
+    auto ep = drv.RegisterEndpoint([&handler_entry, &exec](const kernel::LrpcMsg&)
+                                       -> sim::Task<> {
+      handler_entry = exec.now();
+      co_return;
+    });
+    sim::RunningStat stat;
+    exec.Spawn(Caller(exec, drv, ep, 200, stat, &handler_entry));
+    exec.Run();
+    std::printf("%-20s %10.0f %6.0f %8.0f   %4.0f cycles / %3.0f ns\n", row.spec.name.c_str(),
+                stat.mean(), stat.stddev(), stat.mean() / row.spec.clock_ghz, row.paper_cycles,
+                row.paper_ns);
+  }
+  std::printf("\n(The simulator is deterministic, so sd = 0; the paper's sd is 19-32.)\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Table 2: URPC single-message latency and sustained pipelined throughput
+// (queue length 16) for each cache relationship on the four paper platforms.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "sim/executor.h"
+#include "sim/stats.h"
+#include "sim/task.h"
+#include "urpc/channel.h"
+
+namespace mk {
+namespace {
+
+using sim::Cycles;
+using sim::Task;
+
+// Latency: steady-state single-message latency. The channel is warmed first
+// (every ring slot touched by both sides) and messages are spaced out so no
+// pipelining occurs, as in the paper's single-message measurement. The sender
+// timestamps each message; the receiver measures send-start to
+// receive-complete.
+Task<> LatencySender(hw::Machine& m, urpc::Channel& ch, int total) {
+  for (int i = 0; i < total; ++i) {
+    co_await ch.Send(urpc::Pack(0, m.exec().now()));
+    co_await m.exec().Delay(10000);  // idle gap: one message in flight at a time
+  }
+}
+
+Task<> LatencyReceiver(hw::Machine& m, urpc::Channel& ch, int warmup, int measured,
+                       sim::RunningStat& stat) {
+  for (int i = 0; i < warmup + measured; ++i) {
+    urpc::Message msg = co_await ch.Recv();
+    if (i >= warmup) {
+      Cycles sent_at = urpc::Unpack<Cycles>(msg);
+      stat.Add(static_cast<double>(m.exec().now() - sent_at));
+    }
+  }
+}
+
+Cycles MeasureLatency(const hw::PlatformSpec& spec, int sender, int receiver) {
+  sim::Executor exec;
+  hw::Machine m(exec, spec);
+  urpc::Channel ch(m, sender, receiver);
+  const int kWarmup = 2 * ch.options().slots;  // warm every ring slot
+  const int kMeasured = 50;
+  sim::RunningStat stat;
+  exec.Spawn(LatencySender(m, ch, kWarmup + kMeasured));
+  exec.Spawn(LatencyReceiver(m, ch, kWarmup, kMeasured, stat));
+  exec.Run();
+  return static_cast<Cycles>(stat.mean());
+}
+
+Task<> StreamSend(urpc::Channel& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await ch.SendPosted(urpc::Message{});
+  }
+}
+
+Task<> StreamRecv(urpc::Channel& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    (void)co_await ch.Recv();
+  }
+}
+
+// Throughput: pipelined stream with a queue length of 16 messages.
+double MeasureThroughput(const hw::PlatformSpec& spec, int sender, int receiver) {
+  sim::Executor exec;
+  hw::Machine m(exec, spec);
+  urpc::ChannelOptions opts;
+  opts.slots = 16;
+  urpc::Channel ch(m, sender, receiver, opts);
+  const int kMessages = 4000;
+  exec.Spawn(StreamSend(ch, kMessages));
+  exec.Spawn(StreamRecv(ch, kMessages));
+  Cycles elapsed = exec.Run();
+  return 1000.0 * kMessages / static_cast<double>(elapsed);
+}
+
+struct Row {
+  const char* platform;
+  const char* cache;
+  int sender;
+  int receiver;
+  double paper_latency;
+  double paper_throughput;
+};
+
+}  // namespace
+}  // namespace mk
+
+int main() {
+  using namespace mk;
+  // Receiver cores chosen per platform so the pair has the row's cache
+  // relationship (see hw/platform.cc topologies).
+  std::vector<Row> rows = {
+      {"2x4-core Intel", "shared", 0, 1, 180, 11.97},
+      {"2x4-core Intel", "non-shared", 0, 4, 570, 3.78},
+      {"2x2-core AMD", "same die", 0, 1, 450, 3.42},
+      {"2x2-core AMD", "one-hop", 0, 2, 532, 3.19},
+      {"4x4-core AMD", "shared", 0, 1, 448, 3.57},
+      {"4x4-core AMD", "one-hop", 0, 4, 545, 3.53},
+      {"4x4-core AMD", "two-hop", 0, 12, 558, 3.51},
+      {"8x4-core AMD", "shared", 0, 1, 538, 2.77},
+      {"8x4-core AMD", "one-hop", 0, 4, 613, 2.79},
+      {"8x4-core AMD", "two-hop", 0, 12, 618, 2.75},
+  };
+  bench::PrintHeader("Table 2: URPC performance (latency cycles; throughput msgs/kcycle)");
+  std::printf("%-18s %-11s %9s %9s %12s %12s\n", "System", "Cache", "lat", "paper", "tput",
+              "paper");
+  auto platforms = hw::PaperPlatforms();
+  for (const auto& row : rows) {
+    const hw::PlatformSpec* spec = nullptr;
+    for (const auto& p : platforms) {
+      if (p.name == row.platform) {
+        spec = &p;
+      }
+    }
+    Cycles lat = MeasureLatency(*spec, row.sender, row.receiver);
+    double tput = MeasureThroughput(*spec, row.sender, row.receiver);
+    std::printf("%-18s %-11s %9llu %9.0f %12.2f %12.2f\n", row.platform, row.cache,
+                static_cast<unsigned long long>(lat), row.paper_latency, tput,
+                row.paper_throughput);
+  }
+  return 0;
+}

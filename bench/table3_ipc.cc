@@ -1,0 +1,117 @@
+// Table 3: messaging cost of URPC (inter-core, same die) vs L4-style
+// synchronous IPC (same core) on the 2x2-core AMD system.
+#include <cstdio>
+
+#include "baseline/l4_ipc.h"
+#include "bench_util.h"
+#include "sim/stats.h"
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "sim/executor.h"
+#include "sim/task.h"
+#include "urpc/channel.h"
+
+namespace mk {
+namespace {
+
+using sim::Cycles;
+using sim::Task;
+
+// Warmed single-message latency (as in the Table 2 bench): spaced sends with
+// every ring slot touched first.
+Task<> UrpcLatSender(hw::Machine& m, urpc::Channel& ch, int total) {
+  for (int i = 0; i < total; ++i) {
+    co_await ch.Send(urpc::Pack(0, m.exec().now()));
+    co_await m.exec().Delay(10000);
+  }
+}
+
+Task<> UrpcLatReceiver(hw::Machine& m, urpc::Channel& ch, int warmup, int measured,
+                       sim::RunningStat& stat) {
+  for (int i = 0; i < warmup + measured; ++i) {
+    urpc::Message msg = co_await ch.Recv();
+    if (i >= warmup) {
+      stat.Add(static_cast<double>(m.exec().now() - urpc::Unpack<Cycles>(msg)));
+    }
+  }
+}
+
+Task<> UrpcStreamSend(urpc::Channel& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await ch.SendPosted(urpc::Message{});
+  }
+}
+Task<> UrpcStreamRecv(urpc::Channel& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    (void)co_await ch.Recv();
+  }
+}
+
+Task<> L4Stream(baseline::L4Ipc& ipc, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await ipc.Call();
+  }
+}
+
+}  // namespace
+}  // namespace mk
+
+int main() {
+  using namespace mk;
+  bench::PrintHeader("Table 3: messaging costs on 2x2-core AMD");
+
+  // URPC latency: same-die pair (cores 0 and 1), warmed channel.
+  Cycles urpc_latency = 0;
+  {
+    sim::Executor exec;
+    hw::Machine m(exec, hw::Amd2x2());
+    urpc::Channel ch(m, 0, 1);
+    sim::RunningStat stat;
+    exec.Spawn(UrpcLatSender(m, ch, 32 + 50));
+    exec.Spawn(UrpcLatReceiver(m, ch, 32, 50, stat));
+    exec.Run();
+    urpc_latency = static_cast<Cycles>(stat.mean());
+  }
+  // URPC throughput: pipelined, queue length 16.
+  double urpc_tput = 0;
+  {
+    sim::Executor exec;
+    hw::Machine m(exec, hw::Amd2x2());
+    urpc::ChannelOptions opts;
+    opts.slots = 16;
+    urpc::Channel ch(m, 0, 1, opts);
+    const int kMessages = 4000;
+    exec.Spawn(UrpcStreamSend(ch, kMessages));
+    exec.Spawn(UrpcStreamRecv(ch, kMessages));
+    Cycles elapsed = exec.Run();
+    urpc_tput = 1000.0 * kMessages / static_cast<double>(elapsed);
+  }
+  // L4 IPC: synchronous same-core; throughput is 1 / latency.
+  Cycles l4_latency = 0;
+  double l4_tput = 0;
+  {
+    sim::Executor exec;
+    hw::Machine m(exec, hw::Amd2x2());
+    baseline::L4Ipc ipc(m, 0);
+    l4_latency = ipc.RawLatency();
+    const int kMessages = 2000;
+    exec.Spawn(L4Stream(ipc, kMessages));
+    Cycles elapsed = exec.Run();
+    l4_tput = 1000.0 * kMessages / static_cast<double>(elapsed);
+  }
+
+  std::printf("%-10s %10s %16s %14s %14s\n", "", "Latency", "Throughput", "Icache lines",
+              "Dcache lines");
+  std::printf("%-10s %7llu cy %11.2f m/kc %14d %14d\n", "URPC",
+              static_cast<unsigned long long>(urpc_latency), urpc_tput,
+              baseline::kUrpcIcacheLines, baseline::kUrpcDcacheLines);
+  std::printf("%-10s %7llu cy %11.2f m/kc %14d %14d\n", "L4 IPC",
+              static_cast<unsigned long long>(l4_latency), l4_tput, baseline::kL4IcacheLines,
+              baseline::kL4DcacheLines);
+  std::printf(
+      "\nPaper: URPC 450 cy / 3.42 msgs/kcycle / 9 / 8;  L4 424 cy / 2.36 msgs/kcycle / 25 / "
+      "13.\nInter-core URPC is close to the best same-core IPC in latency, beats it in\n"
+      "throughput (pipelining), and avoids the TLB flush and cache footprint.\n"
+      "(Cache-line footprints are static code/data properties, reported as constants.)\n");
+  return 0;
+}

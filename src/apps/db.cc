@@ -1,0 +1,349 @@
+#include "apps/db.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mk::apps {
+namespace {
+
+// --- Tokenizer ---
+
+struct Tokenizer {
+  explicit Tokenizer(const std::string& sql) : s(sql) {}
+
+  // Returns the next token: identifiers/keywords are upper-cased except
+  // quoted strings; punctuation is single characters; "" at end.
+  std::string Next() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+    if (pos >= s.size()) {
+      return "";
+    }
+    char c = s[pos];
+    if (c == '\'') {
+      // String literal (single quotes; '' escapes a quote).
+      std::string out = "'";
+      ++pos;
+      while (pos < s.size()) {
+        if (s[pos] == '\'' && pos + 1 < s.size() && s[pos + 1] == '\'') {
+          out += '\'';
+          pos += 2;
+          continue;
+        }
+        if (s[pos] == '\'') {
+          ++pos;
+          break;
+        }
+        out += s[pos++];
+      }
+      return out;  // leading quote marks it a string literal
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-') {
+      std::string out;
+      while (pos < s.size() && (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+                                s[pos] == '_' || s[pos] == '-')) {
+        out += static_cast<char>(std::toupper(static_cast<unsigned char>(s[pos])));
+        ++pos;
+      }
+      return out;
+    }
+    if ((c == '<' || c == '>' || c == '!') && pos + 1 < s.size() && s[pos + 1] == '=') {
+      pos += 2;
+      return std::string{c, '='};
+    }
+    ++pos;
+    return std::string(1, c);
+  }
+
+  std::string Peek() {
+    std::size_t saved = pos;
+    std::string t = Next();
+    pos = saved;
+    return t;
+  }
+
+  const std::string& s;
+  std::size_t pos = 0;
+};
+
+bool IsIntLiteral(const std::string& t) {
+  if (t.empty() || t[0] == '\'') {
+    return false;
+  }
+  std::size_t i = t[0] == '-' ? 1 : 0;
+  if (i >= t.size()) {
+    return false;
+  }
+  for (; i < t.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DbValue LiteralValue(const std::string& t) {
+  if (!t.empty() && t[0] == '\'') {
+    return t.substr(1);
+  }
+  return static_cast<std::int64_t>(std::stoll(t));
+}
+
+int Compare(const DbValue& a, const DbValue& b) {
+  if (a.index() != b.index()) {
+    return a.index() < b.index() ? -1 : 1;
+  }
+  if (std::holds_alternative<std::int64_t>(a)) {
+    auto x = std::get<std::int64_t>(a);
+    auto y = std::get<std::int64_t>(b);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  const auto& x = std::get<std::string>(a);
+  const auto& y = std::get<std::string>(b);
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+bool ApplyOp(const std::string& op, int cmp) {
+  if (op == "=") return cmp == 0;
+  if (op == "!=") return cmp != 0;
+  if (op == "<") return cmp < 0;
+  if (op == "<=") return cmp <= 0;
+  if (op == ">") return cmp > 0;
+  if (op == ">=") return cmp >= 0;
+  return false;
+}
+
+}  // namespace
+
+std::string DbValueToString(const DbValue& v) {
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return std::to_string(std::get<std::int64_t>(v));
+  }
+  return std::get<std::string>(v);
+}
+
+int Database::Table::ColumnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::optional<DbError> Database::Exec(const std::string& sql) {
+  Tokenizer tok(sql);
+  std::string verb = tok.Next();
+  if (verb == "CREATE") {
+    if (tok.Next() != "TABLE") {
+      return DbError{"expected TABLE"};
+    }
+    std::string name = tok.Next();
+    if (name.empty() || tok.Next() != "(") {
+      return DbError{"expected table name and column list"};
+    }
+    Table table;
+    while (true) {
+      std::string col = tok.Next();
+      std::string type = tok.Next();
+      if (col.empty() || (type != "INT" && type != "TEXT")) {
+        return DbError{"bad column definition"};
+      }
+      table.columns.push_back(Column{col, type == "INT"});
+      std::string sep = tok.Next();
+      if (sep == ")") {
+        break;
+      }
+      if (sep != ",") {
+        return DbError{"expected , or )"};
+      }
+    }
+    if (tables_.count(name) != 0) {
+      return DbError{"table exists: " + name};
+    }
+    tables_[name] = std::move(table);
+    return std::nullopt;
+  }
+  if (verb == "INSERT") {
+    if (tok.Next() != "INTO") {
+      return DbError{"expected INTO"};
+    }
+    std::string name = tok.Next();
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return DbError{"no such table: " + name};
+    }
+    if (tok.Next() != "VALUES" || tok.Next() != "(") {
+      return DbError{"expected VALUES ("};
+    }
+    std::vector<DbValue> row;
+    while (true) {
+      std::string lit = tok.Next();
+      if (lit.empty()) {
+        return DbError{"unterminated VALUES"};
+      }
+      row.push_back(LiteralValue(lit));
+      std::string sep = tok.Next();
+      if (sep == ")") {
+        break;
+      }
+      if (sep != ",") {
+        return DbError{"expected , or )"};
+      }
+    }
+    if (row.size() != it->second.columns.size()) {
+      return DbError{"value count mismatch"};
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      bool want_int = it->second.columns[i].is_int;
+      if (want_int != std::holds_alternative<std::int64_t>(row[i])) {
+        return DbError{"type mismatch in column " + it->second.columns[i].name};
+      }
+    }
+    it->second.rows.push_back(std::move(row));
+    return std::nullopt;
+  }
+  return DbError{"unsupported statement: " + verb};
+}
+
+std::variant<Database::ResultSet, DbError> Database::Query(const std::string& sql) const {
+  Tokenizer tok(sql);
+  if (tok.Next() != "SELECT") {
+    return DbError{"expected SELECT"};
+  }
+  std::vector<std::string> cols;
+  bool star = false;
+  while (true) {
+    std::string c = tok.Next();
+    if (c == "*") {
+      star = true;
+    } else if (!c.empty()) {
+      cols.push_back(c);
+    } else {
+      return DbError{"bad column list"};
+    }
+    std::string sep = tok.Peek();
+    if (sep == ",") {
+      tok.Next();
+      continue;
+    }
+    break;
+  }
+  if (tok.Next() != "FROM") {
+    return DbError{"expected FROM"};
+  }
+  std::string name = tok.Next();
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return DbError{"no such table: " + name};
+  }
+  const Table& table = it->second;
+
+  int where_col = -1;
+  std::string where_op;
+  DbValue where_val;
+  int order_col = -1;
+  bool order_desc = false;
+  std::int64_t limit = -1;
+
+  std::string kw = tok.Next();
+  if (kw == "WHERE") {
+    std::string col = tok.Next();
+    where_col = table.ColumnIndex(col);
+    if (where_col < 0) {
+      return DbError{"no such column: " + col};
+    }
+    where_op = tok.Next();
+    std::string lit = tok.Next();
+    if (lit.empty() || (!IsIntLiteral(lit) && lit[0] != '\'')) {
+      return DbError{"bad literal in WHERE"};
+    }
+    where_val = LiteralValue(lit);
+    kw = tok.Next();
+  }
+  if (kw == "ORDER") {
+    if (tok.Next() != "BY") {
+      return DbError{"expected BY"};
+    }
+    std::string col = tok.Next();
+    order_col = table.ColumnIndex(col);
+    if (order_col < 0) {
+      return DbError{"no such column: " + col};
+    }
+    if (tok.Peek() == "DESC") {
+      tok.Next();
+      order_desc = true;
+    } else if (tok.Peek() == "ASC") {
+      tok.Next();
+    }
+    kw = tok.Next();
+  }
+  if (kw == "LIMIT") {
+    std::string lit = tok.Next();
+    if (!IsIntLiteral(lit)) {
+      return DbError{"bad LIMIT"};
+    }
+    limit = std::stoll(lit);
+    kw = tok.Next();
+  }
+  if (!kw.empty() && kw != ";") {
+    return DbError{"trailing tokens: " + kw};
+  }
+
+  ResultSet rs;
+  std::vector<int> proj;
+  if (star) {
+    for (std::size_t i = 0; i < table.columns.size(); ++i) {
+      proj.push_back(static_cast<int>(i));
+      rs.columns.push_back(table.columns[i].name);
+    }
+  } else {
+    for (const auto& c : cols) {
+      int idx = table.ColumnIndex(c);
+      if (idx < 0) {
+        return DbError{"no such column: " + c};
+      }
+      proj.push_back(idx);
+      rs.columns.push_back(c);
+    }
+  }
+
+  std::vector<const std::vector<DbValue>*> selected;
+  for (const auto& row : table.rows) {
+    ++rs.rows_scanned;
+    if (where_col >= 0 &&
+        !ApplyOp(where_op, Compare(row[static_cast<std::size_t>(where_col)], where_val))) {
+      continue;
+    }
+    selected.push_back(&row);
+  }
+  if (order_col >= 0) {
+    std::stable_sort(selected.begin(), selected.end(),
+                     [order_col, order_desc](const auto* a, const auto* b) {
+                       int cmp = Compare((*a)[static_cast<std::size_t>(order_col)],
+                                         (*b)[static_cast<std::size_t>(order_col)]);
+                       return order_desc ? cmp > 0 : cmp < 0;
+                     });
+  }
+  for (const auto* row : selected) {
+    if (limit >= 0 && static_cast<std::int64_t>(rs.rows.size()) >= limit) {
+      break;
+    }
+    std::vector<DbValue> out;
+    for (int idx : proj) {
+      out.push_back((*row)[static_cast<std::size_t>(idx)]);
+    }
+    rs.rows.push_back(std::move(out));
+  }
+  return rs;
+}
+
+std::size_t Database::TableRows(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? 0 : it->second.rows.size();
+}
+
+bool Database::HasTable(const std::string& name) const { return tables_.count(name) != 0; }
+
+}  // namespace mk::apps

@@ -1,0 +1,64 @@
+// A small relational engine standing in for SQLite in the section 5.4 web
+// workload: typed tables, INSERT, and a SELECT subset sufficient for the
+// TPC-W-style browsing queries the paper issues
+// (SELECT cols FROM table WHERE col op value [ORDER BY col [DESC]] [LIMIT n]).
+//
+// Query execution is real (full scan, filter, sort, limit); the simulated
+// cost charged by the serving process is derived from the rows scanned and
+// returned, so the "bottlenecked at the SQLite server core" behavior of the
+// paper reproduces.
+#ifndef MK_APPS_DB_H_
+#define MK_APPS_DB_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mk::apps {
+
+using DbValue = std::variant<std::int64_t, std::string>;
+
+std::string DbValueToString(const DbValue& v);
+
+struct DbError {
+  std::string message;
+};
+
+class Database {
+ public:
+  // Executes CREATE TABLE t (col INT|TEXT, ...) or
+  // INSERT INTO t VALUES (v, ...). Returns an error message on failure.
+  std::optional<DbError> Exec(const std::string& sql);
+
+  struct ResultSet {
+    std::vector<std::string> columns;
+    std::vector<std::vector<DbValue>> rows;
+    std::uint64_t rows_scanned = 0;  // cost basis for the simulation
+  };
+
+  // Executes a SELECT; supports column lists or *, WHERE with = != < <= > >=
+  // on one column, ORDER BY col [DESC], LIMIT n.
+  std::variant<ResultSet, DbError> Query(const std::string& sql) const;
+
+  std::size_t TableRows(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+ private:
+  struct Column {
+    std::string name;
+    bool is_int = true;
+  };
+  struct Table {
+    std::vector<Column> columns;
+    std::vector<std::vector<DbValue>> rows;
+    int ColumnIndex(const std::string& name) const;
+  };
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace mk::apps
+
+#endif  // MK_APPS_DB_H_

@@ -1,0 +1,146 @@
+#include "apps/httpd.h"
+
+#include <sstream>
+
+#include "sim/random.h"
+
+namespace mk::apps {
+bool ParseHttpRequest(const std::string& text, HttpRequest* out) {
+  std::size_t line_end = text.find("\r\n");
+  if (line_end == std::string::npos) {
+    line_end = text.find('\n');
+  }
+  std::string line = text.substr(0, line_end);
+  std::istringstream iss(line);
+  std::string target;
+  std::string version;
+  if (!(iss >> out->method >> target >> version)) {
+    return false;
+  }
+  if (out->method != "GET" && out->method != "HEAD") {
+    return false;
+  }
+  std::size_t q = target.find('?');
+  if (q == std::string::npos) {
+    out->path = target;
+    out->query.clear();
+  } else {
+    out->path = target.substr(0, q);
+    out->query = target.substr(q + 1);
+  }
+  return true;
+}
+
+std::string RenderHttpResponse(const HttpResponse& resp) {
+  std::ostringstream oss;
+  oss << "HTTP/1.0 " << resp.status << (resp.status == 200 ? " OK" : " Error") << "\r\n"
+      << "Content-Type: " << resp.content_type << "\r\n"
+      << "Content-Length: " << resp.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << resp.body;
+  return oss.str();
+}
+
+std::string StaticIndexPage() {
+  // ~4.1 KB, matching the paper's static page size.
+  std::string body =
+      "<html><head><title>Barrelfish multikernel reproduction</title></head><body>\n"
+      "<h1>The multikernel: a new OS architecture for scalable multicore systems</h1>\n";
+  while (body.size() < 4096) {
+    body +=
+        "<p>The machine is a network of cores; the OS is a distributed system of\n"
+        "processes communicating by message passing, with replicated state kept\n"
+        "consistent by agreement protocols.</p>\n";
+  }
+  body += "</body></html>\n";
+  return body;
+}
+
+HttpServer::HttpServer(hw::Machine& machine, net::NetStack& stack, std::uint16_t port,
+                       DbQueryFn db_query, Cycles request_cost)
+    : machine_(machine), stack_(stack), port_(port), db_query_(std::move(db_query)),
+      request_cost_(request_cost) {}
+
+Task<HttpResponse> HttpServer::Handle(const HttpRequest& req) {
+  ++requests_served_;
+  co_await machine_.Compute(stack_.core(), request_cost_);
+  HttpResponse resp;
+  if (req.path == "/" || req.path == "/index.html") {
+    resp.body = StaticIndexPage();
+    co_return resp;
+  }
+  if (req.path == "/query" && db_query_) {
+    // /query?sql=... with '+' encoding spaces (the only reserved character
+    // the generated queries contain).
+    std::string sql = req.query.rfind("sql=", 0) == 0 ? req.query.substr(4) : req.query;
+    for (char& ch : sql) {
+      if (ch == '+') {
+        ch = ' ';
+      }
+    }
+    resp.body = co_await db_query_(sql);
+    co_return resp;
+  }
+  resp.status = 404;
+  resp.body = "<html><body>not found</body></html>";
+  co_return resp;
+}
+
+Task<> HttpServer::ServeConnection(net::NetStack::TcpConn* conn) {
+  std::string request_text;
+  while (true) {
+    std::vector<std::uint8_t> chunk = co_await conn->Read();
+    if (chunk.empty()) {
+      co_return;  // peer closed before a full request
+    }
+    request_text.append(chunk.begin(), chunk.end());
+    if (request_text.find("\r\n\r\n") != std::string::npos ||
+        request_text.find('\n') != std::string::npos) {
+      break;
+    }
+  }
+  HttpRequest req;
+  HttpResponse resp;
+  if (!ParseHttpRequest(request_text, &req)) {
+    resp.status = 400;
+    resp.body = "bad request";
+  } else {
+    resp = co_await Handle(req);
+  }
+  co_await stack_.TcpSend(*conn, RenderHttpResponse(resp));
+  co_await stack_.TcpClose(*conn);
+}
+
+Task<> HttpServer::Serve() {
+  auto& listener = stack_.TcpListen(port_);
+  while (true) {
+    net::NetStack::TcpConn* conn = co_await listener.Accept();
+    machine_.exec().Spawn(ServeConnection(conn));
+  }
+}
+
+void PopulateTpcw(Database* db, int items, std::uint64_t seed) {
+  db->Exec("CREATE TABLE authors (a_id INT, a_name TEXT)");
+  db->Exec("CREATE TABLE items (i_id INT, i_title TEXT, i_a_id INT, i_stock INT, "
+           "i_cost INT)");
+  sim::Rng rng(seed);
+  int n_authors = items / 4 + 1;
+  for (int a = 0; a < n_authors; ++a) {
+    db->Exec("INSERT INTO authors VALUES (" + std::to_string(a) + ", 'author-" +
+             std::to_string(a) + "')");
+  }
+  for (int i = 0; i < items; ++i) {
+    db->Exec("INSERT INTO items VALUES (" + std::to_string(i) + ", 'item-" +
+             std::to_string(i) + "', " +
+             std::to_string(rng.Below(static_cast<std::uint64_t>(n_authors))) + ", " +
+             std::to_string(rng.Below(1000)) + ", " + std::to_string(rng.Below(10000)) +
+             ")");
+  }
+}
+
+std::string TpcwQuery(int item_id) {
+  return "SELECT i_id, i_title, i_stock, i_cost FROM items WHERE i_id = " +
+         std::to_string(item_id) + " LIMIT 1";
+}
+
+}  // namespace mk::apps

@@ -1,0 +1,81 @@
+// HTTP/1.0 web server for the section 5.4 workload: serves a static page and
+// web-based SELECT queries forwarded to the database process over URPC.
+#ifndef MK_APPS_HTTPD_H_
+#define MK_APPS_HTTPD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "apps/db.h"
+#include "hw/machine.h"
+#include "net/stack.h"
+#include "sim/task.h"
+
+namespace mk::apps {
+
+using sim::Cycles;
+using sim::Task;
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;  // after '?'
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string body;
+  std::string content_type = "text/html";
+};
+
+// Parses the request line of an HTTP/1.0 request; false if malformed.
+bool ParseHttpRequest(const std::string& text, HttpRequest* out);
+
+// Renders a response with headers.
+std::string RenderHttpResponse(const HttpResponse& resp);
+
+// The static page: paper serves a 4.1 KB page.
+std::string StaticIndexPage();
+
+class HttpServer {
+ public:
+  // `db_query` runs a SQL string on the database service (usually an URPC
+  // round trip to the DB core) and returns the rendered rows; empty handler
+  // disables /query.
+  using DbQueryFn = std::function<Task<std::string>(std::string sql)>;
+
+  // `request_cost` is the per-request application work (parsing, routing,
+  // buffer management, connection bookkeeping) charged on the server core;
+  // the default is calibrated against the paper's measured service rate.
+  HttpServer(hw::Machine& machine, net::NetStack& stack, std::uint16_t port,
+             DbQueryFn db_query = nullptr, Cycles request_cost = 60000);
+
+  // Accept loop: serves connections until the stack shuts down. Spawn this.
+  Task<> Serve();
+
+  // Handles one already-parsed request (also used by the loopback bench).
+  Task<HttpResponse> Handle(const HttpRequest& req);
+
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  Task<> ServeConnection(net::NetStack::TcpConn* conn);
+
+  hw::Machine& machine_;
+  net::NetStack& stack_;
+  std::uint16_t port_;
+  DbQueryFn db_query_;
+  Cycles request_cost_;
+  std::uint64_t requests_served_ = 0;
+};
+
+// Builds the TPC-W-like browsing database (items and authors tables).
+void PopulateTpcw(Database* db, int items, std::uint64_t seed = 7);
+
+// A TPC-W-like SELECT for item detail browsing.
+std::string TpcwQuery(int item_id);
+
+}  // namespace mk::apps
+
+#endif  // MK_APPS_HTTPD_H_

@@ -1,0 +1,72 @@
+// Compute-bound workloads for the Figure 9 experiment (section 5.3):
+// NAS-like CG, FT, IS kernels and SPLASH-like Barnes-Hut and radiosity.
+//
+// Each workload runs the real algorithm on host data (the results are
+// checksummed and verified by tests) while charging the simulated machine
+// for the computation (cycles per floating-point/integer operation) and the
+// communication (coherent accesses to the shared arrays: vectors read across
+// chunk boundaries, contended histogram lines, all-to-all transposes, the
+// shared tree, the work queue lock). Scaling behavior — barrier costs,
+// reduction-line contention, serial phases — therefore emerges from the
+// machine model exactly as the paper's discussion of Figure 9 describes.
+#ifndef MK_APPS_WORKLOADS_H_
+#define MK_APPS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proc/openmp.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::apps {
+
+using sim::Cycles;
+using sim::Task;
+
+struct WorkloadResult {
+  Cycles cycles = 0;     // simulated execution time
+  double checksum = 0;   // from the real computation; verified in tests
+};
+
+struct WorkloadParams {
+  int iterations = 5;          // outer iterations / time steps
+  std::int64_t size = 1 << 14; // problem size (meaning is per workload)
+  std::uint64_t seed = 42;
+};
+
+// NAS CG: conjugate gradient on a random sparse symmetric diagonally-dominant
+// matrix. Per iteration: one sparse mat-vec plus two dot-product reductions,
+// each ending in a barrier. Checksum: final residual norm.
+Task<WorkloadResult> RunCg(proc::OmpRuntime& omp, WorkloadParams params);
+
+// NAS FT: iterated 1-D FFT with a block transpose between compute phases —
+// the all-to-all exchange of the 3-D FFT. Checksum: sum of magnitudes.
+Task<WorkloadResult> RunFt(proc::OmpRuntime& omp, WorkloadParams params);
+
+// NAS IS: bucket integer sort. Per iteration: private histograms merged into
+// a shared, heavily contended bucket array, serial prefix sum, parallel
+// permute. Checksum: verifies sortedness and key preservation.
+Task<WorkloadResult> RunIs(proc::OmpRuntime& omp, WorkloadParams params);
+
+// SPLASH-2 Barnes-Hut: octree N-body. Per step: serial tree build (the
+// Amdahl fraction), parallel force computation over the shared read-only
+// tree, barrier, parallel position update. Checksum: center-of-mass drift.
+Task<WorkloadResult> RunBarnesHut(proc::OmpRuntime& omp, WorkloadParams params);
+
+// SPLASH-2 radiosity: iterative energy redistribution over patches with a
+// mutex-protected task queue (lock contention) and shared patch lines.
+// Checksum: total radiosity.
+Task<WorkloadResult> RunRadiosity(proc::OmpRuntime& omp, WorkloadParams params);
+
+// Name -> runner table for the bench/examples.
+struct WorkloadEntry {
+  const char* name;
+  Task<WorkloadResult> (*run)(proc::OmpRuntime&, WorkloadParams);
+};
+const std::vector<WorkloadEntry>& AllWorkloads();
+
+}  // namespace mk::apps
+
+#endif  // MK_APPS_WORKLOADS_H_

@@ -1,0 +1,69 @@
+// IPI-based TLB shootdown, as in Linux and Windows (section 5.1).
+//
+// A core changing a page mapping writes the operation to a well-known shared
+// location and sends an inter-processor interrupt to every core that might
+// cache the mapping. Each target takes the trap (~800 cycles), reads the
+// operation from shared memory, invalidates its TLB entry, acknowledges by
+// writing a shared counter, and resumes. The initiator continues once every
+// IPI is acknowledged.
+//
+// Both costs that dominate the figure-7 baselines emerge from the model: the
+// serial IPI send loop on the initiator (xAPIC requires polling the delivery
+// status between sends) and the coherence traffic on the shared operation
+// word and acknowledgement counter.
+#ifndef MK_BASELINE_IPI_SHOOTDOWN_H_
+#define MK_BASELINE_IPI_SHOOTDOWN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/machine.h"
+#include "sim/event.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::baseline {
+
+using sim::Cycles;
+using sim::Task;
+
+inline constexpr int kVectorShootdown = 0xfd;
+
+class IpiShootdown {
+ public:
+  enum class Flavor {
+    kLinux,    // mprotect path in Linux 2.6.26
+    kWindows,  // VirtualProtect path in Windows Server 2008
+  };
+
+  IpiShootdown(hw::Machine& machine, Flavor flavor);
+
+  // Changes the permissions of `pages` pages mapped by cores [0, cores):
+  // page-table update + serial IPIs + wait for all acknowledgements.
+  // Returns the end-to-end latency observed by the initiator.
+  Task<Cycles> ChangeMapping(int initiator, int cores, std::uint64_t vaddr,
+                             std::uint32_t pages);
+
+ private:
+  Task<> Target(int core, std::uint64_t generation);
+  // Per-send serialization cost on the initiator (ICR write + delivery-status
+  // poll; Windows adds its DPC bookkeeping).
+  Cycles SerialSendCost() const;
+  // Fixed syscall-side overhead of the mapping-change path.
+  Cycles EntryCost() const;
+
+  hw::Machine& machine_;
+  Flavor flavor_;
+  sim::Addr op_line_;    // shared operation descriptor
+  sim::Addr ack_line_;   // shared acknowledgement counter
+  std::uint64_t generation_ = 0;
+  std::uint64_t vaddr_ = 0;
+  std::uint32_t pages_ = 0;
+  int acks_needed_ = 0;
+  int acks_received_ = 0;
+  sim::Event all_acked_;
+};
+
+}  // namespace mk::baseline
+
+#endif  // MK_BASELINE_IPI_SHOOTDOWN_H_

@@ -1,0 +1,142 @@
+#include "caps/cspace.h"
+
+namespace mk::caps {
+
+CSpace::CSpace(CapDb& db, std::uint32_t root_slots) : db_(db), root_slots_(root_slots) {
+  Node root;
+  root.slots = root_slots;
+  nodes_.push_back(std::move(root));
+}
+
+int CSpace::WalkTo(const CapPath& path, std::uint32_t* final_slot) const {
+  if (path.slots.empty()) {
+    return -1;
+  }
+  int node = 0;
+  for (std::size_t depth = 0; depth + 1 < path.slots.size(); ++depth) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    std::uint32_t slot = path.slots[depth];
+    auto it = n.children.find(slot);
+    if (slot >= n.slots || it == n.children.end()) {
+      return -1;
+    }
+    node = static_cast<int>(it->second);
+  }
+  std::uint32_t last = path.slots.back();
+  if (last >= nodes_[static_cast<std::size_t>(node)].slots) {
+    return -1;
+  }
+  *final_slot = last;
+  return node;
+}
+
+CapId CSpace::Lookup(const CapPath& path) const {
+  std::uint32_t slot = 0;
+  int node = WalkTo(path, &slot);
+  if (node < 0) {
+    return kNoCap;
+  }
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  auto it = n.caps.find(slot);
+  if (it == n.caps.end()) {
+    return kNoCap;
+  }
+  // The capability may have been revoked out from under the slot.
+  return db_.Exists(it->second) ? it->second : kNoCap;
+}
+
+CapErr CSpace::Put(const CapPath& path, CapId cap) {
+  if (!db_.Exists(cap)) {
+    return CapErr::kBadCap;
+  }
+  std::uint32_t slot = 0;
+  int node = WalkTo(path, &slot);
+  if (node < 0) {
+    return CapErr::kBadRange;
+  }
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.caps.count(slot) != 0 && db_.Exists(n.caps.at(slot))) {
+    return CapErr::kConflict;  // slot occupied
+  }
+  n.caps[slot] = cap;
+  return CapErr::kOk;
+}
+
+CapErr CSpace::Copy(const CapPath& src, const CapPath& dst) {
+  CapId cap = Lookup(src);
+  if (cap == kNoCap) {
+    return CapErr::kBadCap;
+  }
+  auto copy = db_.Copy(cap);
+  if (copy.err != CapErr::kOk) {
+    return copy.err;
+  }
+  CapErr err = Put(dst, copy.id);
+  if (err != CapErr::kOk) {
+    db_.Delete(copy.id);
+  }
+  return err;
+}
+
+CapErr CSpace::Mint(const CapPath& src, const CapPath& dst, Rights reduced) {
+  CapId cap = Lookup(src);
+  if (cap == kNoCap) {
+    return CapErr::kBadCap;
+  }
+  auto copy = db_.Copy(cap, reduced);
+  if (copy.err != CapErr::kOk) {
+    return copy.err;
+  }
+  CapErr err = Put(dst, copy.id);
+  if (err != CapErr::kOk) {
+    db_.Delete(copy.id);
+  }
+  return err;
+}
+
+CapErr CSpace::Delete(const CapPath& path) {
+  std::uint32_t slot = 0;
+  int node = WalkTo(path, &slot);
+  if (node < 0) {
+    return CapErr::kBadRange;
+  }
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  auto it = n.caps.find(slot);
+  if (it == n.caps.end()) {
+    return CapErr::kBadCap;
+  }
+  CapErr err = db_.Delete(it->second);
+  n.caps.erase(it);
+  return err;
+}
+
+CapErr CSpace::MakeCNode(const CapPath& path, CapId cnode_ram, std::uint32_t slots) {
+  // Validate the destination slot before touching the capability database, so
+  // failure leaves no side effects.
+  std::uint32_t slot = 0;
+  int node = WalkTo(path, &slot);
+  if (node < 0) {
+    return CapErr::kBadRange;
+  }
+  {
+    const Node& parent = nodes_[static_cast<std::size_t>(node)];
+    if (parent.children.count(slot) != 0 ||
+        (parent.caps.count(slot) != 0 && db_.Exists(parent.caps.at(slot)))) {
+      return CapErr::kConflict;
+    }
+  }
+  // The CNode's storage comes from retyping RAM (16 bytes per slot here).
+  auto retyped = db_.Retype(cnode_ram, CapType::kCNode, slots * 16ULL, 1);
+  if (retyped.err != CapErr::kOk) {
+    return retyped.err;
+  }
+  Node child;
+  child.slots = slots;
+  nodes_.push_back(std::move(child));  // may reallocate: re-index the parent
+  Node& parent = nodes_[static_cast<std::size_t>(node)];
+  parent.children[slot] = static_cast<std::uint32_t>(nodes_.size() - 1);
+  parent.caps[slot] = retyped.children.front();
+  return CapErr::kOk;
+}
+
+}  // namespace mk::caps

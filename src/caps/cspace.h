@@ -1,0 +1,69 @@
+// CSpace: how user-level code names capabilities (section 4.7's seL4 model).
+//
+// Capabilities live in CNodes — tables of slots, themselves reachable through
+// capabilities — and are addressed by a path of slot indices from a root
+// CNode. The CPU driver's invocation path resolves such an address before
+// checking the operation; this class implements the resolution and the
+// slot-level operations (put/copy/mint/delete) on top of the CapDb.
+#ifndef MK_CAPS_CSPACE_H_
+#define MK_CAPS_CSPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "caps/capability.h"
+
+namespace mk::caps {
+
+// A capability address: up to 4 levels of slot indices.
+struct CapPath {
+  std::vector<std::uint32_t> slots;
+
+  static CapPath Of(std::initializer_list<std::uint32_t> s) { return CapPath{s}; }
+};
+
+class CSpace {
+ public:
+  // `root_slots` slots in the root CNode; nested CNodes are created with
+  // MakeCNode.
+  CSpace(CapDb& db, std::uint32_t root_slots = 256);
+
+  // Resolves a path to the capability stored there (kNoCap if empty/bad).
+  CapId Lookup(const CapPath& path) const;
+
+  // Stores a capability in an empty slot.
+  CapErr Put(const CapPath& path, CapId cap);
+
+  // Copies the capability at `src` into the empty slot `dst` (a CDT child;
+  // optionally with reduced rights, i.e. a mint).
+  CapErr Copy(const CapPath& src, const CapPath& dst);
+  CapErr Mint(const CapPath& src, const CapPath& dst, Rights reduced);
+
+  // Clears the slot and deletes that capability (CDT delete semantics).
+  CapErr Delete(const CapPath& path);
+
+  // Creates a nested CNode of `slots` slots at `path`, backed by retyping
+  // `cnode_ram` (a RAM capability large enough for the slot storage).
+  CapErr MakeCNode(const CapPath& path, CapId cnode_ram, std::uint32_t slots);
+
+  std::uint32_t root_slots() const { return root_slots_; }
+
+ private:
+  struct Node {
+    std::uint32_t slots = 0;
+    std::map<std::uint32_t, CapId> caps;       // slot -> capability
+    std::map<std::uint32_t, std::uint32_t> children;  // slot -> node index
+  };
+
+  // Walks to the node containing the final slot; -1 on a bad path.
+  int WalkTo(const CapPath& path, std::uint32_t* final_slot) const;
+
+  CapDb& db_;
+  std::uint32_t root_slots_;
+  std::vector<Node> nodes_;  // index 0 is the root
+};
+
+}  // namespace mk::caps
+
+#endif  // MK_CAPS_CSPACE_H_

@@ -1,0 +1,212 @@
+#include "fs/ramfs.h"
+
+namespace mk::fs {
+
+const char* FsErrName(FsErr e) {
+  switch (e) {
+    case FsErr::kOk: return "ok";
+    case FsErr::kExists: return "exists";
+    case FsErr::kNotFound: return "not-found";
+    case FsErr::kBadPath: return "bad-path";
+  }
+  return "?";
+}
+
+ReplicatedFs::ReplicatedFs(monitor::MonitorSystem& sys)
+    : sys_(sys), replicas_(static_cast<std::size_t>(sys.num_cores())) {
+  transfer_region_ = sys_.machine().mem().AllocLines(0, 64);
+  for (int c = 0; c < sys_.num_cores(); ++c) {
+    seq_slots_.push_back(std::make_unique<sim::Semaphore>(sys_.machine().exec(), 1));
+  }
+  for (int c = 0; c < sys_.num_cores(); ++c) {
+    // Each monitor applies replicated FS ops to its core's replica. The
+    // handler reads the (already charged) payload descriptor and mutates the
+    // local replica; its vote is always yes (one-phase commit).
+    sys_.on(c).SetCustomHandler([this, c](const monitor::OpMsg& msg) -> Task<bool> {
+      auto it = pending_.find(msg.op_id);
+      if (it == pending_.end()) {
+        co_return true;  // not ours (another service's op)
+      }
+      FsErr err = Apply(&replicas_[static_cast<std::size_t>(c)], it->second);
+      results_[msg.op_id] = err;  // all replicas agree deterministically
+      co_return true;
+    });
+  }
+}
+
+ReplicatedFs::~ReplicatedFs() {
+  for (int c = 0; c < sys_.num_cores(); ++c) {
+    sys_.on(c).SetCustomHandler(nullptr);
+  }
+}
+
+int ReplicatedFs::SequencerOf(const std::string& path) const {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char ch : path) {
+    h = (h ^ static_cast<std::uint8_t>(ch)) * 1099511628211ULL;
+  }
+  return static_cast<int>(h % static_cast<std::uint64_t>(sys_.num_cores()));
+}
+
+FsErr ReplicatedFs::Apply(Replica* replica, const PendingOp& op) {
+  switch (op.code) {
+    case OpCode::kCreate:
+      if (replica->files.count(op.path) != 0) {
+        return FsErr::kExists;
+      }
+      replica->files[op.path] = {};
+      return FsErr::kOk;
+    case OpCode::kWrite: {
+      auto it = replica->files.find(op.path);
+      if (it == replica->files.end()) {
+        return FsErr::kNotFound;
+      }
+      it->second = op.data;
+      return FsErr::kOk;
+    }
+    case OpCode::kAppend: {
+      auto it = replica->files.find(op.path);
+      if (it == replica->files.end()) {
+        return FsErr::kNotFound;
+      }
+      it->second.insert(it->second.end(), op.data.begin(), op.data.end());
+      return FsErr::kOk;
+    }
+    case OpCode::kRemove:
+      return replica->files.erase(op.path) > 0 ? FsErr::kOk : FsErr::kNotFound;
+  }
+  return FsErr::kBadPath;
+}
+
+Task<FsErr> ReplicatedFs::Mutate(int core, OpCode code, std::string path,
+                                 std::vector<std::uint8_t> data) {
+  if (path.empty() || path.front() != '/') {
+    co_return FsErr::kBadPath;
+  }
+  hw::Machine& m = sys_.machine();
+  const int sequencer = SequencerOf(path);
+  // Ship the request (path + data) to the sequencer core: a charged transfer
+  // through shared memory, like any bulk URPC payload.
+  std::uint64_t bytes = path.size() + data.size() + 16;
+  if (core != sequencer) {
+    co_await m.mem().WritePosted(core, transfer_region_, bytes);
+    co_await m.mem().Read(sequencer, transfer_region_, bytes);
+    co_await m.Compute(sequencer, m.cost().msg_demux);
+  }
+  // The sequencer orders the op and drives the one-phase collective; every
+  // monitor's custom handler applies it to its replica. One collective at a
+  // time per sequencer: that serialization is the ordering guarantee.
+  co_await seq_slots_[static_cast<std::size_t>(sequencer)]->Acquire();
+  monitor::OpMsg msg;
+  msg.op_id = sys_.on(sequencer).NewOpId();
+  msg.kind = monitor::OpKind::kCustom;
+  msg.proto = monitor::Protocol::kNumaMulticast;
+  msg.source = static_cast<std::uint16_t>(sequencer);
+  PendingOp& slot = pending_[msg.op_id];
+  slot.code = code;
+  slot.path = std::move(path);
+  slot.data = std::move(data);
+  (void)co_await sys_.on(sequencer).RunCollectiveForTest(msg);
+  ++mutations_;
+  FsErr err = results_[msg.op_id];
+  results_.erase(msg.op_id);
+  pending_.erase(msg.op_id);
+  seq_slots_[static_cast<std::size_t>(sequencer)]->Release();
+  // Completion notification back to the caller.
+  if (core != sequencer) {
+    co_await m.mem().WritePosted(sequencer, transfer_region_ + 64, 8);
+    co_await m.mem().Read(core, transfer_region_ + 64, 8);
+  }
+  co_return err;
+}
+
+Task<FsErr> ReplicatedFs::Create(int core, const std::string& path) {
+  co_return co_await Mutate(core, OpCode::kCreate, path, {});
+}
+
+Task<FsErr> ReplicatedFs::Write(int core, const std::string& path,
+                                std::vector<std::uint8_t> data) {
+  co_return co_await Mutate(core, OpCode::kWrite, path, std::move(data));
+}
+
+Task<FsErr> ReplicatedFs::Append(int core, const std::string& path,
+                                 std::vector<std::uint8_t> data) {
+  co_return co_await Mutate(core, OpCode::kAppend, path, std::move(data));
+}
+
+Task<FsErr> ReplicatedFs::Remove(int core, const std::string& path) {
+  co_return co_await Mutate(core, OpCode::kRemove, path, {});
+}
+
+Task<std::optional<std::vector<std::uint8_t>>> ReplicatedFs::Read(int core,
+                                                                  const std::string& path) {
+  hw::Machine& m = sys_.machine();
+  const Replica& replica = replicas_[static_cast<std::size_t>(core)];
+  auto it = replica.files.find(path);
+  if (it == replica.files.end()) {
+    co_await m.Compute(core, m.cost().l1_hit * 8);
+    co_return std::nullopt;
+  }
+  // Replica-local read: the whole point of replication (section 3.3) — data
+  // is near the core that processes it.
+  co_await m.Compute(core, m.cost().l1_hit * (8 + it->second.size() / 64));
+  co_return it->second;
+}
+
+Task<std::vector<std::string>> ReplicatedFs::List(int core, const std::string& prefix) {
+  hw::Machine& m = sys_.machine();
+  const Replica& replica = replicas_[static_cast<std::size_t>(core)];
+  std::vector<std::string> out;
+  for (const auto& [path, data] : replica.files) {
+    if (path.rfind(prefix, 0) == 0) {
+      out.push_back(path);
+    }
+  }
+  co_await m.Compute(core, m.cost().l1_hit * (4 + replica.files.size()));
+  co_return out;
+}
+
+bool ReplicatedFs::Exists(const std::string& path) const {
+  return replicas_.front().files.count(path) != 0;
+}
+
+std::uint64_t ReplicatedFs::ReplicaDigest(int core) const {
+  const Replica& r = replicas_[static_cast<std::size_t>(core)];
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h = (h ^ p[i]) * 1099511628211ULL;
+    }
+  };
+  for (const auto& [path, data] : r.files) {
+    mix(path.data(), path.size());
+    mix(data.data(), data.size());
+  }
+  return h;
+}
+
+Task<> ReplicatedFs::SyncReplica(int from_core, int to_core) {
+  hw::Machine& m = sys_.machine();
+  const Replica& src = replicas_[static_cast<std::size_t>(from_core)];
+  std::uint64_t bytes = 64;
+  for (const auto& [path, data] : src.files) {
+    bytes += path.size() + data.size() + 16;
+  }
+  co_await m.mem().WritePosted(from_core, transfer_region_, std::min<std::uint64_t>(bytes, 4096));
+  co_await m.mem().Read(to_core, transfer_region_, std::min<std::uint64_t>(bytes, 4096));
+  co_await m.Compute(to_core, bytes / 8);
+  replicas_[static_cast<std::size_t>(to_core)] = src;
+}
+
+bool ReplicatedFs::ReplicasConsistent() const {
+  std::uint64_t digest = ReplicaDigest(0);
+  for (int c = 1; c < sys_.num_cores(); ++c) {
+    if (sys_.IsOnline(c) && ReplicaDigest(c) != digest) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mk::fs

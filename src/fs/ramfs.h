@@ -1,0 +1,105 @@
+// A replicated in-memory file system inside the computer (section 7: "it may
+// be fruitful to ... construct a scalable, replicated file system inside the
+// computer").
+//
+// Every core holds a full replica of the namespace and file contents, so
+// reads are always replica-local (cheap). Mutations are ordered per file by
+// a sequencer core (chosen by hashing the path) and propagated to all
+// replicas with a one-phase-commit collective over the monitors' NUMA-aware
+// multicast tree: the payload travels through a charged transfer buffer, the
+// op descriptor rides the collective, and completion means every replica has
+// applied the change.
+#ifndef MK_FS_RAMFS_H_
+#define MK_FS_RAMFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.h"
+#include "sim/event.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::fs {
+
+using sim::Cycles;
+using sim::Task;
+
+enum class FsErr {
+  kOk = 0,
+  kExists,
+  kNotFound,
+  kBadPath,
+};
+
+const char* FsErrName(FsErr e);
+
+class ReplicatedFs {
+ public:
+  explicit ReplicatedFs(monitor::MonitorSystem& sys);
+  ReplicatedFs(const ReplicatedFs&) = delete;
+  ReplicatedFs& operator=(const ReplicatedFs&) = delete;
+  ~ReplicatedFs();
+
+  // --- Mutations (sequenced per file, replicated to every core) ---
+  Task<FsErr> Create(int core, const std::string& path);
+  Task<FsErr> Write(int core, const std::string& path, std::vector<std::uint8_t> data);
+  Task<FsErr> Append(int core, const std::string& path, std::vector<std::uint8_t> data);
+  Task<FsErr> Remove(int core, const std::string& path);
+
+  // --- Reads: served from the local replica ---
+  Task<std::optional<std::vector<std::uint8_t>>> Read(int core, const std::string& path);
+  Task<std::vector<std::string>> List(int core, const std::string& prefix);
+  bool Exists(const std::string& path) const;
+
+  // The sequencer core responsible for ordering a path's mutations.
+  int SequencerOf(const std::string& path) const;
+
+  // All replicas identical? (test invariant; offline cores excluded)
+  bool ReplicasConsistent() const;
+
+  // State transfer for a replica that missed updates (e.g. a core returning
+  // from power-down): streams `from_core`'s replica to `to_core`, charged by
+  // size. Call after MonitorSystem::OnlineCore.
+  Task<> SyncReplica(int from_core, int to_core);
+
+  std::uint64_t mutations() const { return mutations_; }
+
+ private:
+  enum class OpCode : std::uint8_t { kCreate, kWrite, kAppend, kRemove };
+  struct PendingOp {
+    OpCode code;
+    std::string path;
+    std::vector<std::uint8_t> data;
+  };
+  struct Replica {
+    std::map<std::string, std::vector<std::uint8_t>> files;
+  };
+
+  // Applies an op to one replica (host-side state change).
+  static FsErr Apply(Replica* replica, const PendingOp& op);
+  // Runs the op through the sequencer + collective; returns the local result.
+  // (Scalar/string parameters rather than an aggregate: GCC 12 miscompiles
+  // braced aggregate temporaries passed to coroutines.)
+  Task<FsErr> Mutate(int core, OpCode code, std::string path,
+                     std::vector<std::uint8_t> data);
+  std::uint64_t ReplicaDigest(int core) const;
+
+  monitor::MonitorSystem& sys_;
+  std::vector<Replica> replicas_;
+  // One slot per sequencer core: a sequencer runs one collective at a time,
+  // which is what gives mutations on a file a single global order.
+  std::vector<std::unique_ptr<sim::Semaphore>> seq_slots_;
+  std::map<std::uint64_t, PendingOp> pending_;  // op_id -> payload (host side)
+  std::map<std::uint64_t, FsErr> results_;      // eventual per-op outcome
+  sim::Addr transfer_region_;
+  std::uint64_t mutations_ = 0;
+};
+
+}  // namespace mk::fs
+
+#endif  // MK_FS_RAMFS_H_

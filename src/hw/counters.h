@@ -1,0 +1,96 @@
+// Hardware performance counters: cache events per core and interconnect
+// traffic per directed link (in 32-bit dwords, as the paper's Table 4).
+#ifndef MK_HW_COUNTERS_H_
+#define MK_HW_COUNTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mk::hw {
+
+struct CoreCounters {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;   // coherence misses (invalidation/first touch)
+  std::uint64_t c2c_transfers = 0;  // misses satisfied cache-to-cache
+  std::uint64_t dram_fetches = 0;   // misses satisfied from memory
+  std::uint64_t invalidations_recv = 0;
+  std::uint64_t tlb_invalidations = 0;
+  std::uint64_t tlb_misses = 0;
+  std::uint64_t traps = 0;
+  std::uint64_t ipis_sent = 0;
+  std::uint64_t ipis_received = 0;
+
+  CoreCounters operator-(const CoreCounters& o) const {
+    CoreCounters r = *this;
+    r.loads -= o.loads;
+    r.stores -= o.stores;
+    r.cache_hits -= o.cache_hits;
+    r.cache_misses -= o.cache_misses;
+    r.c2c_transfers -= o.c2c_transfers;
+    r.dram_fetches -= o.dram_fetches;
+    r.invalidations_recv -= o.invalidations_recv;
+    r.tlb_invalidations -= o.tlb_invalidations;
+    r.tlb_misses -= o.tlb_misses;
+    r.traps -= o.traps;
+    r.ipis_sent -= o.ipis_sent;
+    r.ipis_received -= o.ipis_received;
+    return r;
+  }
+};
+
+class PerfCounters {
+ public:
+  PerfCounters(int cores, int packages)
+      : cores_(cores, CoreCounters{}),
+        link_dwords_(packages, std::vector<std::uint64_t>(packages, 0)) {}
+
+  CoreCounters& core(int c) { return cores_[c]; }
+  const CoreCounters& core(int c) const { return cores_[c]; }
+
+  void AddLinkDwords(int from_pkg, int to_pkg, std::uint64_t dwords) {
+    link_dwords_[from_pkg][to_pkg] += dwords;
+  }
+  std::uint64_t link_dwords(int from_pkg, int to_pkg) const {
+    return link_dwords_[from_pkg][to_pkg];
+  }
+
+  CoreCounters Total() const {
+    CoreCounters t;
+    for (const auto& c : cores_) {
+      t.loads += c.loads;
+      t.stores += c.stores;
+      t.cache_hits += c.cache_hits;
+      t.cache_misses += c.cache_misses;
+      t.c2c_transfers += c.c2c_transfers;
+      t.dram_fetches += c.dram_fetches;
+      t.invalidations_recv += c.invalidations_recv;
+      t.tlb_invalidations += c.tlb_invalidations;
+      t.tlb_misses += c.tlb_misses;
+      t.traps += c.traps;
+      t.ipis_sent += c.ipis_sent;
+      t.ipis_received += c.ipis_received;
+    }
+    return t;
+  }
+
+  void Reset() {
+    for (auto& c : cores_) {
+      c = CoreCounters{};
+    }
+    for (auto& row : link_dwords_) {
+      for (auto& v : row) {
+        v = 0;
+      }
+    }
+  }
+
+ private:
+  std::vector<CoreCounters> cores_;
+  std::vector<std::vector<std::uint64_t>> link_dwords_;
+};
+
+}  // namespace mk::hw
+
+#endif  // MK_HW_COUNTERS_H_

@@ -1,0 +1,49 @@
+#include "hw/machine.h"
+
+namespace mk::hw {
+
+sim::Task<> IpiFabric::Send(int from, int to, int vector) {
+  ++counters_.core(from).ipis_sent;
+  const CostBook& c = spec_.cost;
+  int hops = topo_.Hops(topo_.PackageOf(from), topo_.PackageOf(to));
+  sim::Cycles wire = c.ipi_wire + c.cross_rt_per_hop * static_cast<sim::Cycles>(hops);
+  exec_.CallAt(exec_.now() + c.ipi_send + wire, [this, to, vector] {
+    ++counters_.core(to).ipis_received;
+    if (handlers_[to]) {
+      handlers_[to](vector);
+    }
+  });
+  co_await exec_.Delay(c.ipi_send);
+}
+
+Machine::Machine(sim::Executor& exec, PlatformSpec spec)
+    : exec_(exec),
+      spec_(std::move(spec)),
+      topo_(spec_),
+      counters_(topo_.num_cores(), topo_.num_packages()),
+      mem_(exec_, spec_, topo_, counters_),
+      ipi_(exec_, spec_, topo_, counters_),
+      core_busy_(topo_.num_cores()) {
+  tlbs_.reserve(topo_.num_cores());
+  for (int c = 0; c < topo_.num_cores(); ++c) {
+    tlbs_.push_back(std::make_unique<Tlb>(exec_, spec_.cost, counters_.core(c)));
+  }
+}
+
+sim::Task<> Machine::Compute(int core, sim::Cycles cycles) {
+  // Heterogeneous cores: a slower core takes proportionally longer for the
+  // same work (section 2.2). Speeds default to 1.0.
+  double speed = spec_.SpeedOf(core);
+  auto scaled = static_cast<sim::Cycles>(static_cast<double>(cycles) / speed);
+  sim::Cycles done = core_busy_[core].ReserveAt(exec_.now(), scaled);
+  co_await exec_.Delay(done - exec_.now());
+}
+
+sim::Task<> Machine::Trap(int core) {
+  ++counters_.core(core).traps;
+  co_await Compute(core, spec_.cost.trap);
+}
+
+sim::Task<> Machine::Syscall(int core) { co_await Compute(core, spec_.cost.syscall); }
+
+}  // namespace mk::hw

@@ -1,0 +1,89 @@
+// Machine: the assembled hardware model — topology, coherent memory, TLBs,
+// IPI fabric, per-core execution resources, and performance counters.
+#ifndef MK_HW_MACHINE_H_
+#define MK_HW_MACHINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hw/coherence.h"
+#include "hw/counters.h"
+#include "hw/platform.h"
+#include "hw/tlb.h"
+#include "hw/topology.h"
+#include "sim/event.h"
+#include "sim/executor.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::hw {
+
+class Machine;
+
+// Delivers inter-processor interrupts. The kernel registers one handler per
+// core; delivery charges wire latency and invokes the handler, which is
+// responsible for charging the receive-side trap cost.
+class IpiFabric {
+ public:
+  using Handler = std::function<void(int vector)>;
+
+  IpiFabric(sim::Executor& exec, const PlatformSpec& spec, const Topology& topo,
+            PerfCounters& counters)
+      : exec_(exec), spec_(spec), topo_(topo), counters_(counters),
+        handlers_(topo.num_cores()) {}
+
+  void SetHandler(int core, Handler handler) { handlers_[core] = std::move(handler); }
+
+  // Charges the APIC command cost to the sender and schedules delivery.
+  sim::Task<> Send(int from, int to, int vector);
+
+ private:
+  sim::Executor& exec_;
+  const PlatformSpec& spec_;
+  const Topology& topo_;
+  PerfCounters& counters_;
+  std::vector<Handler> handlers_;
+};
+
+class Machine {
+ public:
+  Machine(sim::Executor& exec, PlatformSpec spec);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  sim::Executor& exec() { return exec_; }
+  const PlatformSpec& spec() const { return spec_; }
+  const CostBook& cost() const { return spec_.cost; }
+  const Topology& topo() const { return topo_; }
+  int num_cores() const { return topo_.num_cores(); }
+
+  CoherentMemory& mem() { return mem_; }
+  IpiFabric& ipi() { return ipi_; }
+  PerfCounters& counters() { return counters_; }
+  Tlb& tlb(int core) { return *tlbs_[core]; }
+
+  // Occupies `core` for `cycles` of computation. Concurrent Compute calls on
+  // the same core serialize FIFO, modeling a busy core.
+  sim::Task<> Compute(int core, sim::Cycles cycles);
+
+  // Charges a trap (interrupt/exception entry + exit) on `core`.
+  sim::Task<> Trap(int core);
+
+  // Charges a system-call round trip on `core`.
+  sim::Task<> Syscall(int core);
+
+ private:
+  sim::Executor& exec_;
+  PlatformSpec spec_;
+  Topology topo_;
+  PerfCounters counters_;
+  CoherentMemory mem_;
+  IpiFabric ipi_;
+  std::vector<std::unique_ptr<Tlb>> tlbs_;
+  std::vector<sim::FifoResource> core_busy_;
+};
+
+}  // namespace mk::hw
+
+#endif  // MK_HW_MACHINE_H_

@@ -1,0 +1,115 @@
+#include "hw/platform.h"
+
+namespace mk::hw {
+
+PlatformSpec Intel2x4() {
+  PlatformSpec s;
+  s.name = "2x4-core Intel";
+  s.clock_ghz = 2.66;
+  s.interconnect = InterconnectKind::kFrontSideBus;
+  s.packages = 2;
+  s.dies_per_package = 2;
+  s.cores_per_die = 2;
+  s.shared_cache_per_die = true;  // shared 4MB L2 per die
+  s.shared_cache_per_package = false;
+  s.links = {{0, 1}};  // both packages on the shared front-side bus
+  s.cost.l1_hit = 3;
+  s.cost.shared_cache_rt = 88;   // URPC via shared L2: 180 cyc => ~2x88
+  s.cost.cross_rt_base = 283;    // URPC non-shared: 570 cyc => ~2x283
+  s.cost.cross_rt_per_hop = 0;   // bus: distance-independent
+  s.cost.dram_base = 320;
+  s.cost.home_occupancy = 80;
+  s.cost.c2c_occupancy = 300;
+  s.cost.bus_occupancy = 70;     // every cross-die transaction occupies the FSB
+  s.cost.context_switch = 2400;
+  s.cost.ipi_wakeup_total = 5600;
+  // Table 1: LRPC 845 cycles total = syscall + activation/dispatch extra.
+  s.cost.lrpc_user_path = 845 - s.cost.syscall - s.cost.dispatch;
+  return s;
+}
+
+PlatformSpec Amd2x2() {
+  PlatformSpec s;
+  s.name = "2x2-core AMD";
+  s.clock_ghz = 2.8;
+  s.packages = 2;
+  s.dies_per_package = 1;
+  s.cores_per_die = 2;
+  // Private L2s, but same-die transfers stay inside the package (system
+  // request queue), modeled as the intra-package transaction cost.
+  s.shared_cache_per_package = true;
+  s.links = {{0, 1}};
+  s.cost.shared_cache_rt = 222;  // URPC same die: 450 => ~2x222
+  s.cost.cross_rt_base = 245;    // URPC one-hop: 532 => ~2x266 = base + 21
+  s.cost.cross_rt_per_hop = 21;
+  s.cost.home_occupancy = 85;
+  s.cost.c2c_occupancy = 310;
+  s.cost.lrpc_user_path = 757 - s.cost.syscall - s.cost.dispatch;  // Table 1: 757
+  return s;
+}
+
+PlatformSpec Amd4x4() {
+  PlatformSpec s;
+  s.name = "4x4-core AMD";
+  s.clock_ghz = 2.5;
+  s.packages = 4;
+  s.dies_per_package = 1;
+  s.cores_per_die = 4;
+  s.shared_cache_per_package = true;  // shared 6MB L3
+  // Square topology: diagonal pairs are two hops apart.
+  s.links = {{0, 1}, {1, 3}, {3, 2}, {2, 0}};
+  s.cost.shared_cache_rt = 222;  // URPC shared: 448 => ~2x224
+  s.cost.cross_rt_base = 265;    // one-hop 545 => ~2x272; two-hop 558 => ~2x279
+  s.cost.cross_rt_per_hop = 7;
+  s.cost.home_occupancy = 90;    // calibrates the Fig. 3 SHM slope
+  s.cost.c2c_occupancy = 320;
+  s.cost.context_switch = 2700;
+  s.cost.lrpc_user_path = 1463 - s.cost.syscall - s.cost.dispatch;  // Table 1: 1463
+  return s;
+}
+
+PlatformSpec Amd8x4() {
+  PlatformSpec s;
+  s.name = "8x4-core AMD";
+  s.clock_ghz = 2.0;
+  s.packages = 8;
+  s.dies_per_package = 1;
+  s.cores_per_die = 4;
+  s.shared_cache_per_package = true;  // shared 2MB L3
+  // Figure 2 interconnect: a 2x4 HyperTransport ladder with crossing middle
+  // links. Rungs, rails, and two diagonals; diameter 3.
+  s.links = {{0, 1}, {2, 3}, {4, 5}, {6, 7},            // rungs
+             {0, 2}, {2, 4}, {4, 6},                    // one rail
+             {1, 3}, {3, 5}, {5, 7},                    // other rail
+             {3, 4}, {2, 5}};                           // crossing links
+  s.cost.shared_cache_rt = 267;  // URPC shared: 538 => ~2x269
+  s.cost.cross_rt_base = 303;    // one-hop 613 => ~2x306; two-hop 618 => ~2x309
+  s.cost.cross_rt_per_hop = 3;
+  s.cost.home_occupancy = 95;
+  s.cost.c2c_occupancy = 330;
+  s.cost.context_switch = 2800;
+  s.cost.ipi_wakeup_total = 6200;
+  s.cost.lrpc_user_path = 1549 - s.cost.syscall - s.cost.dispatch;  // Table 1: 1549
+  return s;
+}
+
+PlatformSpec Generic(int packages, int cores_per_package) {
+  PlatformSpec s;
+  s.name = "generic";
+  s.packages = packages;
+  s.dies_per_package = 1;
+  s.cores_per_die = cores_per_package;
+  s.shared_cache_per_package = true;
+  for (int a = 0; a < packages; ++a) {
+    for (int b = a + 1; b < packages; ++b) {
+      s.links.emplace_back(a, b);
+    }
+  }
+  return s;
+}
+
+std::vector<PlatformSpec> PaperPlatforms() {
+  return {Intel2x4(), Amd2x2(), Amd4x4(), Amd8x4()};
+}
+
+}  // namespace mk::hw

@@ -1,0 +1,124 @@
+// Platform specifications: the four test systems of the paper (section 4.1)
+// plus a generic builder.
+//
+// A PlatformSpec bundles the machine shape (packages, dies, cores, link
+// adjacency) with a cost book of calibrated cycle latencies. Protocol *shapes*
+// in the benchmarks emerge from the simulated coherence/interconnect model;
+// only the base constants here are calibrated against the paper's Tables 1-3.
+#ifndef MK_HW_PLATFORM_H_
+#define MK_HW_PLATFORM_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace mk::hw {
+
+using sim::Cycles;
+
+enum class InterconnectKind {
+  kHyperTransport,  // point-to-point links, broadcast probes to all nodes
+  kFrontSideBus,    // shared bus with a snoop filter (2x4 Intel)
+};
+
+// Cycle cost book. Defaults are for a generic AMD-like platform; the factory
+// functions below override them per machine.
+struct CostBook {
+  // --- Cache / memory hierarchy ---
+  Cycles l1_hit = 3;                 // local cache hit
+  Cycles shared_cache_rt = 224;      // one coherence transaction via a shared cache
+  Cycles cross_rt_base = 265;        // cross-package transaction, 0 extra hops
+  Cycles cross_rt_per_hop = 7;       // extra cost per interconnect hop
+  Cycles dram_base = 350;            // memory fetch from the local node
+  Cycles dram_per_hop = 70;          // extra per hop to the home node
+  Cycles store_posted = 60;          // retire a store through the store buffer
+  Cycles prefetched_read = 90;       // poll-array read with the stride prefetcher
+
+  // --- Contention service times (FIFO occupancy per transaction) ---
+  Cycles home_occupancy = 90;        // home memory-controller serialization
+  Cycles c2c_occupancy = 320;        // source-cache serialization for c2c supply
+  Cycles bus_occupancy = 0;          // shared front-side bus (FSB platforms only)
+
+  // --- Kernel-ish hardware costs ---
+  Cycles trap = 800;                 // interrupt/trap entry+exit
+  Cycles syscall = 130;              // system-call instruction round trip
+  Cycles context_switch = 2600;      // address-space switch incl. TLB effects
+  Cycles dispatch = 450;             // scheduler activation + dispatch upcall
+  Cycles tlb_invalidate = 150;       // invlpg-style single-entry invalidate
+  Cycles tlb_flush = 500;            // full TLB flush
+  Cycles ipi_send = 120;             // APIC command from the sender
+  Cycles ipi_wire = 300;             // fabric delivery delay (plus hops)
+  Cycles ipi_wakeup_total = 6000;    // C in section 5.2: IPI + context switch
+  Cycles lrpc_user_path = 600;       // activation + user-level dispatch + thread
+                                     // scheduler pass on the LRPC fast path
+  Cycles msg_demux = 450;            // monitor-side marshaling + event demux per
+                                     // message (section 5.1 end-to-end costs)
+  Cycles unmap_user_path = 5000;     // unoptimized user-level threads package
+                                     // dispatch on the unmap completion path
+
+  // --- Traffic accounting ---
+  std::uint32_t cmd_dwords = 4;      // command / probe / ack packet size
+  std::uint32_t data_dwords = 20;    // 64-byte cache line + header
+  double cycles_per_dword = 2.0;     // link transfer rate for utilization calc
+};
+
+struct PlatformSpec {
+  std::string name;
+  double clock_ghz = 2.5;  // core clock, for cycle <-> wall-time conversions
+  InterconnectKind interconnect = InterconnectKind::kHyperTransport;
+  int packages = 1;
+  int dies_per_package = 1;
+  int cores_per_die = 1;
+  // Whether cores on the same die / package communicate via a shared cache
+  // (uses shared_cache_rt instead of a cross-package transaction).
+  bool shared_cache_per_die = false;
+  bool shared_cache_per_package = false;
+  // Undirected package-to-package links. Empty means fully connected
+  // single-hop (also used for the FSB, where the bus couples both packages).
+  std::vector<std::pair<int, int>> links;
+  // Heterogeneous cores (section 2.2): relative speed per core; empty means
+  // homogeneous 1.0. A core with speed 0.5 takes twice as long per unit of
+  // computation (kernel paths, application work). The interconnect/caches
+  // are unaffected.
+  std::vector<double> core_speed;
+  CostBook cost;
+
+  double SpeedOf(int core) const {
+    if (core_speed.empty() || core >= static_cast<int>(core_speed.size())) {
+      return 1.0;
+    }
+    return core_speed[static_cast<std::size_t>(core)];
+  }
+
+  int cores_per_package() const { return dies_per_package * cores_per_die; }
+  int num_cores() const { return packages * cores_per_package(); }
+};
+
+// 2x4-core Intel: 2 quad-core Xeon X5355 (2 dies of 2 cores each, shared 4MB
+// L2 per die), shared front-side bus with a snoop filter.
+PlatformSpec Intel2x4();
+
+// 2x2-core AMD: 2 dual-core Opteron 2220, private L2s, 2 HyperTransport links.
+PlatformSpec Amd2x2();
+
+// 4x4-core AMD: 4 quad-core Opteron 8380 in a square HT topology, shared 6MB
+// L3 per package.
+PlatformSpec Amd4x4();
+
+// 8x4-core AMD: 8 quad-core Opteron 8350, interconnect of Figure 2, shared
+// 2MB L3 per package.
+PlatformSpec Amd8x4();
+
+// Generic homogeneous machine for tests: `packages` fully-connected nodes of
+// `cores_per_package` cores each, with a shared cache per package.
+PlatformSpec Generic(int packages, int cores_per_package);
+
+// All four paper platforms, in the order used by Tables 1 and 2.
+std::vector<PlatformSpec> PaperPlatforms();
+
+}  // namespace mk::hw
+
+#endif  // MK_HW_PLATFORM_H_

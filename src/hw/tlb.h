@@ -1,0 +1,85 @@
+// Per-core TLB model: tracks cached virtual-to-physical translations so the
+// shootdown experiments can both charge invalidation costs and *verify* the
+// consistency invariant (no stale translation once an unmap completes).
+#ifndef MK_HW_TLB_H_
+#define MK_HW_TLB_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hw/counters.h"
+#include "hw/platform.h"
+#include "sim/executor.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::hw {
+
+inline constexpr std::uint64_t kPageSize = 4096;
+inline constexpr std::uint64_t PageBase(std::uint64_t va) { return va & ~(kPageSize - 1); }
+
+struct TlbEntry {
+  std::uint64_t paddr = 0;
+  bool writable = false;
+};
+
+class Tlb {
+ public:
+  Tlb(sim::Executor& exec, const CostBook& cost, CoreCounters& counters)
+      : exec_(exec), cost_(cost), counters_(counters) {}
+
+  // Fills an entry (no cost: filled as part of a charged page-table walk).
+  void Insert(std::uint64_t vaddr, TlbEntry entry) { entries_[PageBase(vaddr)] = entry; }
+
+  bool Lookup(std::uint64_t vaddr, TlbEntry* out) const {
+    auto it = entries_.find(PageBase(vaddr));
+    if (it == entries_.end()) {
+      return false;
+    }
+    if (out != nullptr) {
+      *out = it->second;
+    }
+    return true;
+  }
+
+  bool Contains(std::uint64_t vaddr) const { return entries_.count(PageBase(vaddr)) != 0; }
+
+  // invlpg: removes one translation and charges its cost.
+  sim::Task<> Invalidate(std::uint64_t vaddr) {
+    entries_.erase(PageBase(vaddr));
+    ++counters_.tlb_invalidations;
+    co_await exec_.Delay(cost_.tlb_invalidate);
+  }
+
+  // Invalidate without charging (used when the cost is folded into another
+  // charged operation, e.g. a baseline's batched flush).
+  void InvalidateNoCost(std::uint64_t vaddr) {
+    entries_.erase(PageBase(vaddr));
+    ++counters_.tlb_invalidations;
+  }
+
+  sim::Task<> FlushAll() {
+    entries_.clear();
+    ++counters_.tlb_invalidations;
+    co_await exec_.Delay(cost_.tlb_flush);
+  }
+
+  // Flush whose cost is folded into another charged operation (e.g. an
+  // address-space switch whose constant already includes it).
+  void FlushAllNoCost() {
+    entries_.clear();
+    ++counters_.tlb_invalidations;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  sim::Executor& exec_;
+  const CostBook& cost_;
+  CoreCounters& counters_;
+  std::unordered_map<std::uint64_t, TlbEntry> entries_;
+};
+
+}  // namespace mk::hw
+
+#endif  // MK_HW_TLB_H_

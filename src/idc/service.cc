@@ -1,0 +1,19 @@
+#include "idc/service.h"
+
+namespace mk::idc {
+
+sim::Task<> ChargeChannelSetup(hw::Machine& machine, int client_core, int server_core) {
+  const hw::CostBook& c = machine.cost();
+  // Client LRPCs its monitor; the two monitors exchange a bind request and
+  // reply; frame capabilities for the channel are installed on both sides.
+  co_await machine.Compute(client_core, c.syscall + c.dispatch + c.msg_demux);
+  sim::Addr handshake =
+      machine.mem().AllocLines(machine.topo().PackageOf(server_core), 2);
+  co_await machine.mem().Write(client_core, handshake);
+  co_await machine.mem().Read(server_core, handshake);
+  co_await machine.Compute(server_core, c.msg_demux + c.dispatch);
+  co_await machine.mem().Write(server_core, handshake + sim::kCacheLineBytes);
+  co_await machine.mem().Read(client_core, handshake + sim::kCacheLineBytes);
+}
+
+}  // namespace mk::idc

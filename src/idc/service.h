@@ -1,0 +1,179 @@
+// Typed inter-dispatcher RPC: what the paper's stub compiler generates
+// (section 4.6: "marshaling code is generated using a stub compiler to
+// simplify the construction of higher-level services"), as a C++ template
+// library over URPC channels.
+//
+// A Service<Req, Resp> exports a named, typed interface; clients Connect by
+// name (through the name service) and Call with automatic marshaling. The
+// channel pair for a new binding is set up by the monitors: Connect charges
+// the client-monitor / server-monitor handshake before the first call.
+#ifndef MK_IDC_SERVICE_H_
+#define MK_IDC_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "idc/name_service.h"
+#include "sim/event.h"
+#include "sim/task.h"
+#include "urpc/channel.h"
+
+namespace mk::idc {
+
+// One client<->server channel pair.
+struct Binding {
+  std::unique_ptr<urpc::Channel> to_server;
+  std::unique_ptr<urpc::Channel> to_client;
+  int client_core = -1;
+};
+
+// Monitor-mediated channel setup cost: the client's monitor contacts the
+// server's monitor, both bind endpoints, and capabilities to the channel
+// frames are transferred (section 4.6 / 4.8).
+sim::Task<> ChargeChannelSetup(hw::Machine& machine, int client_core, int server_core);
+
+template <typename Req, typename Resp>
+class Service {
+  static_assert(std::is_trivially_copyable_v<Req> &&
+                    sizeof(Req) <= urpc::Message::kPayloadBytes,
+                "Req must fit a URPC message (use a frame capability for bulk)");
+  static_assert(std::is_trivially_copyable_v<Resp> &&
+                    sizeof(Resp) <= urpc::Message::kPayloadBytes,
+                "Resp must fit a URPC message (use a frame capability for bulk)");
+
+ public:
+  using Handler = std::function<sim::Task<Resp>(const Req&)>;
+
+  Service(hw::Machine& machine, NameService& names, int core, std::string name,
+          Handler handler)
+      : machine_(machine), names_(names), core_(core), name_(std::move(name)),
+        handler_(std::move(handler)), bound_(machine.exec()) {}
+
+  int core() const { return core_; }
+  const std::string& name() const { return name_; }
+
+  // Registers with the name service; spawn Serve() afterwards.
+  sim::Task<> Export(std::map<std::string, std::string> properties = {}) {
+    ref_ = co_await names_.Register(core_, name_, std::move(properties));
+  }
+
+  // The service dispatch loop: serves every binding until Stop().
+  sim::Task<> Serve() {
+    while (running_) {
+      bool any = false;
+      for (std::size_t i = 0; i < bindings_.size(); ++i) {
+        urpc::Channel& rx = *bindings_[i]->to_server;
+        urpc::Message msg;
+        while (rx.HasMessage()) {
+          (void)co_await rx.TryRecv(&msg);
+          co_await machine_.Compute(core_, machine_.cost().msg_demux);
+          Resp resp = co_await handler_(urpc::Unpack<Req>(msg));
+          co_await bindings_[i]->to_client->Send(urpc::Pack(msg.tag, resp));
+          any = true;
+          ++calls_;
+        }
+      }
+      if (!any) {
+        co_await bound_.Wait();
+      }
+    }
+  }
+
+  void Stop() {
+    running_ = false;
+    bound_.Signal();
+  }
+
+  // Called by ServiceClient::Connect (via the monitors) to bind a client.
+  Binding* Bind(int client_core) {
+    auto binding = std::make_unique<Binding>();
+    binding->client_core = client_core;
+    binding->to_server = std::make_unique<urpc::Channel>(
+        machine_, client_core, core_, BindOptions());
+    binding->to_client = std::make_unique<urpc::Channel>(
+        machine_, core_, client_core, BindOptions());
+    binding->to_server->SetDataHook([this] { bound_.Signal(); });
+    bindings_.push_back(std::move(binding));
+    return bindings_.back().get();
+  }
+
+  std::uint64_t calls() const { return calls_; }
+  std::size_t bindings() const { return bindings_.size(); }
+
+ private:
+  static urpc::ChannelOptions BindOptions() {
+    urpc::ChannelOptions opts;
+    opts.slots = 8;
+    opts.prefetch = true;
+    return opts;
+  }
+
+  hw::Machine& machine_;
+  NameService& names_;
+  int core_;
+  std::string name_;
+  Handler handler_;
+  ServiceRef ref_;
+  std::vector<std::unique_ptr<Binding>> bindings_;
+  sim::Event bound_;
+  bool running_ = true;
+  std::uint64_t calls_ = 0;
+};
+
+template <typename Req, typename Resp>
+class ServiceClient {
+ public:
+  // Looks the service up by name and establishes a binding through the
+  // monitors. Returns nullptr if the name is unknown.
+  static sim::Task<std::unique_ptr<ServiceClient>> Connect(hw::Machine& machine,
+                                                           NameService& names,
+                                                           Service<Req, Resp>& service,
+                                                           int client_core) {
+    auto ref = co_await names.Lookup(client_core, service.name());
+    if (!ref) {
+      co_return nullptr;
+    }
+    co_await ChargeChannelSetup(machine, client_core, ref->core);
+    Binding* binding = service.Bind(client_core);
+    co_return std::unique_ptr<ServiceClient>(
+        new ServiceClient(machine, binding, client_core));
+  }
+
+  // Synchronous typed call: marshal, send, await the matching reply.
+  sim::Task<Resp> Call(const Req& req) {
+    std::uint64_t tag = next_tag_++;
+    co_await binding_->to_server->Send(urpc::Pack(tag, req));
+    urpc::Message reply = co_await binding_->to_client->Recv();
+    co_return urpc::Unpack<Resp>(reply);
+  }
+
+  // Pipelined call: send without waiting; collect with Collect().
+  sim::Task<> CallAsync(const Req& req) {
+    co_await binding_->to_server->SendPosted(urpc::Pack(next_tag_++, req));
+    ++outstanding_;
+  }
+  sim::Task<Resp> Collect() {
+    urpc::Message reply = co_await binding_->to_client->Recv();
+    --outstanding_;
+    co_return urpc::Unpack<Resp>(reply);
+  }
+  int outstanding() const { return outstanding_; }
+
+ private:
+  ServiceClient(hw::Machine& machine, Binding* binding, int core)
+      : machine_(machine), binding_(binding), core_(core) {}
+
+  hw::Machine& machine_;
+  Binding* binding_;
+  int core_;
+  std::uint64_t next_tag_ = 1;
+  int outstanding_ = 0;
+};
+
+}  // namespace mk::idc
+
+#endif  // MK_IDC_SERVICE_H_

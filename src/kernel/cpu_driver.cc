@@ -1,0 +1,100 @@
+#include "kernel/cpu_driver.h"
+
+#include <stdexcept>
+
+namespace mk::kernel {
+
+CpuDriver::CpuDriver(hw::Machine& machine, int core) : machine_(machine), core_(core) {
+  machine_.ipi().SetHandler(core_, [this](int vector) { HandleIpi(vector); });
+}
+
+EndpointId CpuDriver::RegisterEndpoint(Handler handler, std::string name) {
+  endpoints_.push_back(Endpoint{std::move(handler), std::move(name)});
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+Cycles CpuDriver::LrpcOneWayCost() const {
+  const hw::CostBook& c = machine_.cost();
+  return c.syscall + c.dispatch + c.lrpc_user_path;
+}
+
+Task<> CpuDriver::LrpcSend(EndpointId ep, LrpcMsg msg) {
+  if (ep >= endpoints_.size()) {
+    throw std::out_of_range("LrpcSend: bad endpoint");
+  }
+  const hw::CostBook& c = machine_.cost();
+  // Sender pays the trap into the CPU driver; delivery happens split-phase.
+  co_await machine_.Syscall(core_);
+  const Cycles deliver_cost = c.dispatch + c.lrpc_user_path;
+  machine_.exec().CallAt(machine_.exec().now(), [this, ep, msg, deliver_cost] {
+    machine_.exec().Spawn([](CpuDriver* self, EndpointId e, LrpcMsg m,
+                             Cycles cost) -> Task<> {
+      co_await self->machine_.Compute(self->core_, cost);
+      ++self->messages_delivered_;
+      co_await self->endpoints_[e].handler(m);
+    }(this, ep, msg, deliver_cost));
+  });
+}
+
+Task<> CpuDriver::LrpcCall(EndpointId ep, LrpcMsg msg) {
+  if (ep >= endpoints_.size()) {
+    throw std::out_of_range("LrpcCall: bad endpoint");
+  }
+  const hw::CostBook& c = machine_.cost();
+  // One-way user-to-user path: syscall entry, kernel dispatch of the target
+  // dispatcher, scheduler activation + user-level message dispatch.
+  co_await machine_.Syscall(core_);
+  co_await machine_.Compute(core_, c.dispatch + c.lrpc_user_path);
+  ++messages_delivered_;
+  co_await endpoints_[ep].handler(msg);
+}
+
+CpuDriver::WakeToken CpuDriver::RegisterBlocked(sim::Event* wake_event) {
+  WakeToken token = next_token_++;
+  blocked_[token] = wake_event;
+  return token;
+}
+
+void CpuDriver::CancelBlocked(WakeToken token) { blocked_.erase(token); }
+
+bool CpuDriver::IsBlocked(WakeToken token) const { return blocked_.count(token) != 0; }
+
+Task<> CpuDriver::SendWakeupIpi(CpuDriver& target, WakeToken token) {
+  target.pending_wakeups_.push_back(token);
+  co_await machine_.ipi().Send(core_, target.core_, kVectorWakeup);
+}
+
+void CpuDriver::HandleIpi(int vector) {
+  if (vector == kVectorWakeup) {
+    if (pending_wakeups_.empty()) {
+      return;  // stale IPI: the blocked task already resumed
+    }
+    WakeToken token = pending_wakeups_.front();
+    pending_wakeups_.pop_front();
+    machine_.exec().Spawn(DeliverWakeup(token));
+  }
+}
+
+Task<> CpuDriver::DeliverWakeup(WakeToken token) {
+  // The receive side of the paper's wake-up constant C: trap entry plus a
+  // context switch back to the blocked dispatcher.
+  co_await machine_.Trap(core_);
+  co_await machine_.Compute(core_, machine_.cost().context_switch + machine_.cost().dispatch);
+  auto it = blocked_.find(token);
+  if (it != blocked_.end()) {
+    sim::Event* ev = it->second;
+    blocked_.erase(it);
+    ev->Signal();
+  }
+}
+
+std::vector<std::unique_ptr<CpuDriver>> CpuDriver::BootAll(hw::Machine& machine) {
+  std::vector<std::unique_ptr<CpuDriver>> drivers;
+  drivers.reserve(machine.num_cores());
+  for (int c = 0; c < machine.num_cores(); ++c) {
+    drivers.push_back(std::make_unique<CpuDriver>(machine, c));
+  }
+  return drivers;
+}
+
+}  // namespace mk::kernel

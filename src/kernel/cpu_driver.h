@@ -1,0 +1,124 @@
+// CPU driver: the privileged-mode, per-core half of an OS node (section 4.3).
+//
+// Like Barrelfish's CPU driver it is purely local to its core, event-driven,
+// single-threaded and nonpreemptable: it serially processes traps from user
+// tasks and interrupts from devices or other cores. It performs dispatch and
+// fast same-core messaging (LRPC), delivers hardware interrupts as messages,
+// and shares no state with other cores.
+//
+// Simulated user-level activities are coroutines; the CPU driver's role in
+// the model is (a) charging the kernel-path costs (syscall, dispatch,
+// activation) on its core so they serialize with other work there, and (b)
+// owning the wake-up path for tasks blocked on inter-core messages.
+#ifndef MK_KERNEL_CPU_DRIVER_H_
+#define MK_KERNEL_CPU_DRIVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/machine.h"
+#include "sim/event.h"
+#include "sim/executor.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::kernel {
+
+using sim::Cycles;
+using sim::Task;
+
+// A register-passed message, as on the LRPC fast path (fits in registers; no
+// memory marshaling).
+struct LrpcMsg {
+  std::uint64_t tag = 0;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::uint64_t arg2 = 0;
+};
+
+using EndpointId = std::uint32_t;
+
+// IPI vectors used by the kernel.
+inline constexpr int kVectorWakeup = 0xf0;
+
+class CpuDriver {
+ public:
+  using Handler = std::function<Task<>(const LrpcMsg&)>;
+
+  CpuDriver(hw::Machine& machine, int core);
+  CpuDriver(const CpuDriver&) = delete;
+  CpuDriver& operator=(const CpuDriver&) = delete;
+
+  int core() const { return core_; }
+  hw::Machine& machine() { return machine_; }
+
+  // Binds a handler to a new same-core endpoint. The handler runs "inside"
+  // the destination dispatcher: invocation charges the dispatch + activation
+  // path on this core before the handler body executes.
+  EndpointId RegisterEndpoint(Handler handler, std::string name = {});
+
+  // Asynchronous (split-phase) same-core IPC: the sender is charged the
+  // system-call entry and continues; the message is delivered through the
+  // run queue. Section 4.3's default facility.
+  Task<> LrpcSend(EndpointId ep, LrpcMsg msg);
+
+  // Synchronous LRPC fast path (the Table 1 primitive): charges the full
+  // one-way path — syscall + dispatch + scheduler-activation/user dispatch —
+  // then runs the handler. Returns when the handler completes.
+  Task<> LrpcCall(EndpointId ep, LrpcMsg msg);
+
+  // One-way LRPC user-to-user latency on this platform (for calibration).
+  Cycles LrpcOneWayCost() const;
+
+  // --- Blocking / wakeup for inter-core messaging (section 4.6) ---
+  //
+  // A task that polled its channels for the poll window without receiving a
+  // message blocks: it registers here and sleeps. A remote core's CPU driver
+  // then sends a wake-up IPI naming the registration; delivery costs the
+  // receive-side trap plus a context switch (the paper's constant C).
+
+  using WakeToken = std::uint64_t;
+  WakeToken RegisterBlocked(sim::Event* wake_event);
+  void CancelBlocked(WakeToken token);
+  bool IsBlocked(WakeToken token) const;
+
+  // Sends a wake-up IPI from this core to `target`'s core. The token names
+  // the blocked registration on the target driver.
+  Task<> SendWakeupIpi(CpuDriver& target, WakeToken token);
+
+  // Total cycles this core spent in the idle loop (power proxy).
+  Cycles idle_cycles() const { return idle_cycles_; }
+
+  // Number of endpoint messages processed.
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+
+  // Creates one driver per core of the machine.
+  static std::vector<std::unique_ptr<CpuDriver>> BootAll(hw::Machine& machine);
+
+ private:
+  struct Endpoint {
+    Handler handler;
+    std::string name;
+  };
+
+  void HandleIpi(int vector);
+  Task<> DeliverWakeup(WakeToken token);
+
+  hw::Machine& machine_;
+  int core_;
+  std::vector<Endpoint> endpoints_;
+  std::unordered_map<WakeToken, sim::Event*> blocked_;
+  WakeToken next_token_ = 1;
+  std::deque<WakeToken> pending_wakeups_;
+  Cycles idle_cycles_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace mk::kernel
+
+#endif  // MK_KERNEL_CPU_DRIVER_H_

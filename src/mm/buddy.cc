@@ -1,0 +1,93 @@
+#include "mm/buddy.h"
+
+#include <stdexcept>
+
+namespace mk::mm {
+namespace {
+
+bool IsPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+BuddyAllocator::BuddyAllocator(std::uint64_t base, std::uint64_t size, std::uint64_t min_block)
+    : base_(base), size_(size), min_block_(min_block), free_bytes_(size) {
+  if (!IsPow2(min_block) || !IsPow2(size) || size < min_block || base % min_block != 0) {
+    throw std::invalid_argument("BuddyAllocator: base/size/min_block must be power-of-two"
+                                " aligned");
+  }
+  max_order_ = 0;
+  while (BlockSize(max_order_) < size) {
+    ++max_order_;
+  }
+  free_lists_.resize(static_cast<std::size_t>(max_order_) + 1);
+  free_lists_[static_cast<std::size_t>(max_order_)].insert(0);
+}
+
+int BuddyAllocator::OrderFor(std::uint64_t bytes) const {
+  int order = 0;
+  while (BlockSize(order) < bytes) {
+    ++order;
+  }
+  return order;
+}
+
+std::optional<std::uint64_t> BuddyAllocator::Alloc(std::uint64_t bytes) {
+  if (bytes == 0 || bytes > size_) {
+    return std::nullopt;
+  }
+  int want = OrderFor(bytes);
+  int order = want;
+  while (order <= max_order_ && free_lists_[static_cast<std::size_t>(order)].empty()) {
+    ++order;
+  }
+  if (order > max_order_) {
+    return std::nullopt;
+  }
+  // Split down to the wanted order.
+  auto& from = free_lists_[static_cast<std::size_t>(order)];
+  std::uint64_t off = *from.begin();
+  from.erase(from.begin());
+  while (order > want) {
+    --order;
+    // Keep the low half; the high half becomes a free buddy.
+    free_lists_[static_cast<std::size_t>(order)].insert(off + BlockSize(order));
+  }
+  free_bytes_ -= BlockSize(want);
+  return base_ + off;
+}
+
+void BuddyAllocator::Free(std::uint64_t addr, std::uint64_t bytes) {
+  if (addr < base_ || addr >= base_ + size_) {
+    throw std::invalid_argument("BuddyAllocator::Free: address out of range");
+  }
+  int order = OrderFor(bytes);
+  std::uint64_t off = addr - base_;
+  if (off % BlockSize(order) != 0) {
+    throw std::invalid_argument("BuddyAllocator::Free: misaligned block");
+  }
+  free_bytes_ += BlockSize(order);
+  // Merge with the buddy while possible.
+  while (order < max_order_) {
+    std::uint64_t buddy = off ^ BlockSize(order);
+    auto& list = free_lists_[static_cast<std::size_t>(order)];
+    auto it = list.find(buddy);
+    if (it == list.end()) {
+      break;
+    }
+    list.erase(it);
+    off = off < buddy ? off : buddy;
+    ++order;
+  }
+  free_lists_[static_cast<std::size_t>(order)].insert(off);
+}
+
+std::uint64_t BuddyAllocator::LargestFree() const {
+  for (int order = max_order_; order >= 0; --order) {
+    if (!free_lists_[static_cast<std::size_t>(order)].empty()) {
+      return BlockSize(order);
+    }
+  }
+  return 0;
+}
+
+}  // namespace mk::mm

@@ -1,0 +1,52 @@
+// Buddy allocator for physical memory regions.
+//
+// Backs the per-node memory servers: RAM capabilities handed to user tasks
+// are carved out of a node's buddy-managed region, and returned regions merge
+// back with their buddies.
+#ifndef MK_MM_BUDDY_H_
+#define MK_MM_BUDDY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace mk::mm {
+
+class BuddyAllocator {
+ public:
+  // Manages [base, base + size). `size` must be a power-of-two multiple of
+  // min_block; base must be min_block-aligned.
+  BuddyAllocator(std::uint64_t base, std::uint64_t size, std::uint64_t min_block = 4096);
+
+  // Allocates a block of at least `bytes` (rounded up to a power of two).
+  std::optional<std::uint64_t> Alloc(std::uint64_t bytes);
+
+  // Frees a block previously returned by Alloc with the same size request
+  // class. Freeing merges buddies eagerly.
+  void Free(std::uint64_t addr, std::uint64_t bytes);
+
+  std::uint64_t free_bytes() const { return free_bytes_; }
+  std::uint64_t total_bytes() const { return size_; }
+  std::uint64_t min_block() const { return min_block_; }
+
+  // Largest currently allocatable block.
+  std::uint64_t LargestFree() const;
+
+ private:
+  int OrderFor(std::uint64_t bytes) const;  // block order (0 == min_block)
+  std::uint64_t BlockSize(int order) const { return min_block_ << order; }
+
+  std::uint64_t base_;
+  std::uint64_t size_;
+  std::uint64_t min_block_;
+  std::uint64_t free_bytes_;
+  int max_order_;
+  // Free lists per order, as sorted sets of block offsets (deterministic).
+  std::vector<std::set<std::uint64_t>> free_lists_;
+};
+
+}  // namespace mk::mm
+
+#endif  // MK_MM_BUDDY_H_

@@ -1,0 +1,149 @@
+#include "mm/vspace.h"
+
+namespace mk::mm {
+namespace {
+
+constexpr std::uint64_t kPage = hw::kPageSize;
+
+int IndexAt(std::uint64_t vaddr, int level) {
+  // level 3 = top (PML4-like), level 0 = leaf table.
+  return static_cast<int>((vaddr >> (12 + 9 * level)) & 0x1ff);
+}
+
+}  // namespace
+
+const char* MapErrName(MapErr e) {
+  switch (e) {
+    case MapErr::kOk: return "ok";
+    case MapErr::kBadCap: return "bad-cap";
+    case MapErr::kNoRights: return "no-rights";
+    case MapErr::kOverlap: return "overlap";
+    case MapErr::kNotMapped: return "not-mapped";
+    case MapErr::kBadAlign: return "bad-align";
+  }
+  return "?";
+}
+
+VSpace::VSpace(hw::Machine& machine, caps::CapDb& caps, std::vector<int> cores)
+    : machine_(machine), caps_(caps), cores_(std::move(cores)) {}
+
+PageTableNode::Entry* VSpace::WalkTo(std::uint64_t vaddr, bool create) {
+  PageTableNode* node = &root_;
+  for (int level = 3; level >= 1; --level) {
+    auto& entry = node->entries[static_cast<std::size_t>(IndexAt(vaddr, level))];
+    if (entry.child == nullptr) {
+      if (!create) {
+        return nullptr;
+      }
+      entry.child = std::make_unique<PageTableNode>();
+      entry.present = true;
+      ++table_nodes_;
+    }
+    node = entry.child.get();
+  }
+  return &node->entries[static_cast<std::size_t>(IndexAt(vaddr, 0))];
+}
+
+MapErr VSpace::Map(caps::CapId frame_cap, std::uint64_t vaddr, Perms perms) {
+  const caps::Capability* frame = caps_.Get(frame_cap);
+  if (frame == nullptr || frame->type != caps::CapType::kFrame) {
+    return MapErr::kBadCap;
+  }
+  if (perms.write && !frame->rights.write) {
+    return MapErr::kNoRights;
+  }
+  if (vaddr % kPage != 0 || frame->bytes % kPage != 0 || frame->bytes == 0) {
+    return MapErr::kBadAlign;
+  }
+  // First pass: refuse overlaps before touching anything.
+  for (std::uint64_t off = 0; off < frame->bytes; off += kPage) {
+    PageTableNode::Entry* e = WalkTo(vaddr + off, /*create=*/false);
+    if (e != nullptr && e->present) {
+      return MapErr::kOverlap;
+    }
+  }
+  for (std::uint64_t off = 0; off < frame->bytes; off += kPage) {
+    PageTableNode::Entry* e = WalkTo(vaddr + off, /*create=*/true);
+    e->present = true;
+    e->writable = perms.write;
+    e->frame = frame->base + off;
+  }
+  return MapErr::kOk;
+}
+
+Task<MapErr> VSpace::UnmapOrProtect(int initiator_core, std::uint64_t vaddr,
+                                    std::uint64_t bytes, bool protect_only) {
+  if (vaddr % kPage != 0 || bytes % kPage != 0 || bytes == 0) {
+    co_return MapErr::kBadAlign;
+  }
+  std::vector<std::uint64_t> pages;
+  for (std::uint64_t off = 0; off < bytes; off += kPage) {
+    PageTableNode::Entry* e = WalkTo(vaddr + off, /*create=*/false);
+    if (e == nullptr || !e->present) {
+      co_return MapErr::kNotMapped;
+    }
+    pages.push_back(vaddr + off);
+  }
+  // Update the tables: one charged store per leaf entry.
+  for (std::uint64_t page : pages) {
+    PageTableNode::Entry* e = WalkTo(page, /*create=*/false);
+    if (protect_only) {
+      e->writable = false;
+    } else {
+      e->present = false;
+      e->frame = 0;
+    }
+    co_await machine_.Compute(initiator_core, machine_.cost().l1_hit * 4);
+  }
+  // No action that requires the operation to have completed may proceed until
+  // every sharing core's TLB has dropped the stale translations.
+  if (shootdown_) {
+    co_await shootdown_(initiator_core, pages);
+  } else {
+    for (int core : cores_) {
+      for (std::uint64_t page : pages) {
+        machine_.tlb(core).InvalidateNoCost(page);
+      }
+    }
+  }
+  co_return MapErr::kOk;
+}
+
+Task<MapErr> VSpace::Unmap(int initiator_core, std::uint64_t vaddr, std::uint64_t bytes) {
+  co_return co_await UnmapOrProtect(initiator_core, vaddr, bytes, /*protect_only=*/false);
+}
+
+Task<MapErr> VSpace::Protect(int initiator_core, std::uint64_t vaddr, std::uint64_t bytes) {
+  co_return co_await UnmapOrProtect(initiator_core, vaddr, bytes, /*protect_only=*/true);
+}
+
+Task<std::uint64_t> VSpace::Translate(int core, std::uint64_t vaddr) {
+  hw::TlbEntry cached;
+  if (machine_.tlb(core).Lookup(vaddr, &cached)) {
+    co_await machine_.exec().Delay(1);
+    co_return cached.paddr + (vaddr % kPage);
+  }
+  ++machine_.counters().core(core).tlb_misses;
+  // 4-level walk: four dependent memory accesses.
+  co_await machine_.Compute(core, 4 * machine_.cost().dram_base / 8);
+  PageTableNode::Entry* e = WalkTo(vaddr, /*create=*/false);
+  if (e == nullptr || !e->present) {
+    co_return ~std::uint64_t{0};
+  }
+  machine_.tlb(core).Insert(vaddr, hw::TlbEntry{e->frame, e->writable});
+  co_return e->frame + (vaddr % kPage);
+}
+
+bool VSpace::IsMapped(std::uint64_t vaddr) const {
+  auto* self = const_cast<VSpace*>(this);
+  PageTableNode::Entry* e = self->WalkTo(vaddr, /*create=*/false);
+  return e != nullptr && e->present;
+}
+
+bool VSpace::IsWritable(std::uint64_t vaddr) const {
+  auto* self = const_cast<VSpace*>(this);
+  PageTableNode::Entry* e = self->WalkTo(vaddr, /*create=*/false);
+  return e != nullptr && e->present && e->writable;
+}
+
+}  // namespace mk::mm

@@ -1,0 +1,74 @@
+// Inter-monitor protocol messages and routing protocol selection.
+#ifndef MK_MONITOR_PROTO_H_
+#define MK_MONITOR_PROTO_H_
+
+#include <cstdint>
+
+namespace mk::monitor {
+
+// Routing disciplines evaluated in section 5.1 (Figure 6).
+enum class Protocol : std::uint8_t {
+  kBroadcast,      // one shared cache line read by every slave
+  kUnicast,        // individual point-to-point channels
+  kMulticast,      // two-level tree: one aggregation core per package
+  kNumaMulticast,  // multicast + NUMA-local buffers + farthest-first ordering
+};
+
+const char* ProtocolName(Protocol p);
+
+enum class OpKind : std::uint8_t {
+  kInvalidate,  // one-phase commit: TLB shootdown / unmap propagation
+  kPrepare,     // two-phase commit round 1 (capability retype/revoke)
+  kCommit,      // two-phase commit round 2 (apply)
+  kAbort,       // two-phase commit round 2 (cancel)
+  kCapSend,     // cross-core capability transfer
+  kPing,        // liveness/measurement
+  kCustom,      // service-defined replicated operation (e.g. the FS)
+};
+
+struct OpFlags {
+  bool raw = false;       // skip monitor demux charges (raw messaging bench)
+  bool skip_tlb = false;  // measure protocol only, without TLB invalidation
+};
+
+// The wire format of an inter-monitor operation; fits one URPC payload.
+struct OpMsg {
+  std::uint64_t op_id = 0;
+  OpKind kind = OpKind::kPing;
+  Protocol proto = Protocol::kUnicast;
+  std::uint8_t flags = 0;  // bit 0: raw, bit 1: skip_tlb
+  std::uint16_t source = 0;
+  std::uint16_t ncores = 0;  // cores participating: 0..ncores-1 (0 = all)
+
+  // kInvalidate: virtual range.
+  std::uint64_t vaddr = 0;
+  std::uint32_t pages = 0;
+
+  // kPrepare/kCommit/kAbort: capability operation.
+  std::uint32_t cap_target = 0;
+  std::uint8_t cap_new_type = 0;
+  std::uint8_t cap_is_revoke = 0;
+  std::uint32_t cap_count = 0;
+  std::uint64_t cap_child_bytes = 0;
+
+  bool raw() const { return (flags & 1) != 0; }
+  bool skip_tlb() const { return (flags & 2) != 0; }
+  void set_raw(bool v) { flags = static_cast<std::uint8_t>(v ? (flags | 1) : (flags & ~1)); }
+  void set_skip_tlb(bool v) {
+    flags = static_cast<std::uint8_t>(v ? (flags | 2) : (flags & ~2));
+  }
+};
+static_assert(sizeof(OpMsg) <= 56, "OpMsg must fit one URPC payload");
+
+struct AckMsg {
+  std::uint64_t op_id = 0;
+  std::uint8_t vote = 1;  // 1 = yes/ok
+};
+
+// Message tags on monitor channels.
+inline constexpr std::uint64_t kTagOp = 1;
+inline constexpr std::uint64_t kTagAck = 2;
+
+}  // namespace mk::monitor
+
+#endif  // MK_MONITOR_PROTO_H_

@@ -1,0 +1,94 @@
+#include "net/nic.h"
+
+namespace mk::net {
+namespace {
+
+constexpr std::uint64_t kBufBytes = 2048;  // one buffer per descriptor
+
+}  // namespace
+
+SimNic::SimNic(hw::Machine& machine, Config config)
+    : machine_(machine), config_(config), rx_irq_(machine.exec()),
+      wire_out_ready_(machine.exec()) {
+  auto descs = static_cast<std::uint64_t>(config_.rx_descs);
+  // 16-byte descriptors: 4 per cache line.
+  rx_desc_region_ = machine_.mem().AllocLines(config_.node, descs / 4 + 1);
+  tx_desc_region_ = machine_.mem().AllocLines(config_.node, descs / 4 + 1);
+  rx_buf_region_ =
+      machine_.mem().AllocLines(config_.node, descs * kBufBytes / sim::kCacheLineBytes);
+  tx_buf_region_ =
+      machine_.mem().AllocLines(config_.node, descs * kBufBytes / sim::kCacheLineBytes);
+}
+
+Cycles SimNic::CyclesPerByte() const {
+  // bits/byte * GHz / Gbps = cycles per byte on the wire.
+  return static_cast<Cycles>(8.0 * machine_.spec().clock_ghz / config_.gbps);
+}
+
+Task<> SimNic::InjectFromWire(Packet frame) {
+  // The wire delivers back-to-back frames at line rate.
+  Cycles service = static_cast<Cycles>(frame.size() + 24) * CyclesPerByte();  // +preamble/IFG
+  Cycles done = wire_in_.ReserveAt(machine_.exec().now(), service);
+  co_await machine_.exec().Delay(done - machine_.exec().now());
+  if (rx_ring_.size() >= static_cast<std::size_t>(config_.rx_descs)) {
+    ++frames_dropped_;
+    co_return;
+  }
+  // DMA into the buffer + descriptor write-back (the NIC owns these stores;
+  // they invalidate the driver's cached copies, which is charged when the
+  // driver reads them in DriverRxPop).
+  std::uint64_t slot = rx_slot_++ % static_cast<std::uint64_t>(config_.rx_descs);
+  (void)slot;
+  rx_ring_.push_back(std::move(frame));
+  if (irq_enabled_) {
+    rx_irq_.Signal();
+  }
+}
+
+Task<std::optional<Packet>> SimNic::DriverRxPop(int core) {
+  if (rx_ring_.empty()) {
+    co_return std::nullopt;
+  }
+  Packet frame = std::move(rx_ring_.front());
+  rx_ring_.pop_front();
+  std::uint64_t slot = rx_pop_slot_++ % static_cast<std::uint64_t>(config_.rx_descs);
+  // Descriptor read (the NIC's write-back invalidated it) + payload read.
+  co_await machine_.mem().Read(core, rx_desc_region_ + (slot / 4) * sim::kCacheLineBytes);
+  co_await machine_.mem().Read(core, rx_buf_region_ + slot * kBufBytes, frame.size());
+  // Descriptor recycle: hand the buffer back to the NIC.
+  co_await machine_.mem().WritePosted(core,
+                                      rx_desc_region_ + (slot / 4) * sim::kCacheLineBytes);
+  co_return frame;
+}
+
+Task<bool> SimNic::DriverTxPush(int core, Packet frame) {
+  if (tx_wire_.size() >= static_cast<std::size_t>(config_.tx_descs)) {
+    co_return false;
+  }
+  std::uint64_t slot = tx_slot_++ % static_cast<std::uint64_t>(config_.tx_descs);
+  // Payload copy into the DMA buffer + descriptor write + doorbell.
+  co_await machine_.mem().WritePosted(core, tx_buf_region_ + slot * kBufBytes, frame.size());
+  co_await machine_.mem().Write(core, tx_desc_region_ + (slot / 4) * sim::kCacheLineBytes);
+  machine_.exec().Spawn(DmaOut(std::move(frame)));
+  co_return true;
+}
+
+Task<> SimNic::DmaOut(Packet frame) {
+  Cycles service = static_cast<Cycles>(frame.size() + 24) * CyclesPerByte();
+  Cycles done = wire_out_.ReserveAt(machine_.exec().now(), service);
+  co_await machine_.exec().Delay(done - machine_.exec().now());
+  tx_wire_.push_back(std::move(frame));
+  ++frames_sent_;
+  wire_out_ready_.Signal();
+}
+
+bool SimNic::WirePop(Packet* out) {
+  if (tx_wire_.empty()) {
+    return false;
+  }
+  *out = std::move(tx_wire_.front());
+  tx_wire_.pop_front();
+  return true;
+}
+
+}  // namespace mk::net

@@ -1,0 +1,94 @@
+// Simulated e1000-class gigabit NIC: descriptor rings in (simulated) shared
+// memory, DMA paced at line rate, interrupts routed to the driver's core
+// (section 4.2: "device interrupts are routed in hardware to the appropriate
+// core, demultiplexed by that core's CPU driver, and delivered to the driver
+// process as a message").
+#ifndef MK_NET_NIC_H_
+#define MK_NET_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "hw/machine.h"
+#include "net/wire.h"
+#include "sim/event.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::net {
+
+using sim::Cycles;
+using sim::Task;
+
+class SimNic {
+ public:
+  struct Config {
+    int rx_descs = 256;
+    int tx_descs = 256;
+    double gbps = 1.0;   // line rate
+    int node = 0;        // NUMA node of rings and buffers
+    int irq_core = 0;    // where interrupts are delivered
+  };
+
+  SimNic(hw::Machine& machine, Config config);
+
+  // --- Wire side (load generators / link peer) ---
+
+  // A frame arriving from the wire: paced at line rate, DMA'd into the RX
+  // ring (dropped if full), IRQ raised if the driver enabled interrupts.
+  Task<> InjectFromWire(Packet frame);
+
+  // Frames the NIC has transmitted onto the wire.
+  bool WirePop(Packet* out);
+  sim::Event& wire_out_ready() { return wire_out_ready_; }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+  // --- Driver side ---
+
+  // Pops the next received frame: charges the descriptor and payload-buffer
+  // reads on `core`. Returns nullopt if the ring is empty.
+  Task<std::optional<Packet>> DriverRxPop(int core);
+  bool RxReady() const { return !rx_ring_.empty(); }
+
+  // Queues a frame for transmission: charges descriptor + payload writes,
+  // then the DMA engine serializes it onto the wire at line rate.
+  // Returns false if the TX ring is full.
+  Task<bool> DriverTxPush(int core, Packet frame);
+
+  // Interrupts: delivered only when enabled (drivers disable them while
+  // polling, as e1000 drivers do). The handler runs at IRQ delivery; the
+  // driver charges its own trap cost when it wakes.
+  void SetInterruptsEnabled(bool enabled) { irq_enabled_ = enabled; }
+  sim::Event& rx_irq() { return rx_irq_; }
+
+  Cycles CyclesPerByte() const;
+
+ private:
+  Task<> DmaOut(Packet frame);
+
+  hw::Machine& machine_;
+  Config config_;
+  sim::Addr rx_desc_region_;
+  sim::Addr tx_desc_region_;
+  sim::Addr rx_buf_region_;
+  sim::Addr tx_buf_region_;
+  std::deque<Packet> rx_ring_;
+  std::deque<Packet> tx_wire_;
+  std::uint64_t rx_slot_ = 0;
+  std::uint64_t rx_pop_slot_ = 0;
+  std::uint64_t tx_slot_ = 0;
+  sim::FifoResource wire_in_;   // inbound line-rate pacing
+  sim::FifoResource wire_out_;  // outbound line-rate pacing
+  sim::Event rx_irq_;
+  sim::Event wire_out_ready_;
+  bool irq_enabled_ = true;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace mk::net
+
+#endif  // MK_NET_NIC_H_

@@ -1,0 +1,50 @@
+#include "net/packet_channel.h"
+
+namespace mk::net {
+namespace {
+
+urpc::ChannelOptions DescrOptions(const PacketChannel::Options& opts) {
+  urpc::ChannelOptions c;
+  c.slots = opts.slots;
+  c.prefetch = true;
+  c.numa_node = opts.numa_node;
+  return c;
+}
+
+}  // namespace
+
+PacketChannel::PacketChannel(hw::Machine& machine, int sender_core, int receiver_core,
+                             Options opts)
+    : machine_(machine), opts_(opts),
+      descr_(machine, sender_core, receiver_core, DescrOptions(opts)) {
+  int node = opts_.numa_node >= 0 ? opts_.numa_node
+                                  : machine_.topo().PackageOf(sender_core);
+  payload_region_ = machine_.mem().AllocLines(
+      node, static_cast<std::uint64_t>(opts_.slots) * kPacketSlotBytes /
+                sim::kCacheLineBytes);
+}
+
+Task<> PacketChannel::Send(Packet packet) {
+  Descriptor d;
+  d.slot = send_slot_++ % static_cast<std::uint32_t>(opts_.slots);
+  d.len = static_cast<std::uint32_t>(packet.size());
+  // Payload first (posted stores), then the descriptor message; the channel's
+  // flow control also gates payload-slot reuse (slots match).
+  co_await machine_.mem().WritePosted(
+      descr_.sender_core(), payload_region_ + d.slot * kPacketSlotBytes, packet.size());
+  payloads_.push_back(std::move(packet));
+  co_await descr_.Send(urpc::Pack(1, d));
+}
+
+Task<Packet> PacketChannel::Recv() {
+  urpc::Message msg = co_await descr_.Recv();
+  auto d = urpc::Unpack<Descriptor>(msg);
+  // Claim the payload before the charged read suspends (see Channel::Consume).
+  Packet packet = std::move(payloads_.front());
+  payloads_.pop_front();
+  co_await machine_.mem().Read(descr_.receiver_core(),
+                               payload_region_ + d.slot * kPacketSlotBytes, d.len);
+  co_return packet;
+}
+
+}  // namespace mk::net

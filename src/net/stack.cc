@@ -1,0 +1,245 @@
+#include "net/stack.h"
+
+#include <cstring>
+
+namespace mk::net {
+
+Task<NetStack::UdpDatagram> NetStack::UdpSocket::Recv() {
+  while (queue.empty()) {
+    co_await ready.Wait();
+  }
+  UdpDatagram d = std::move(queue.front());
+  queue.pop_front();
+  co_return d;
+}
+
+bool NetStack::UdpSocket::TryRecv(UdpDatagram* out) {
+  if (queue.empty()) {
+    return false;
+  }
+  *out = std::move(queue.front());
+  queue.pop_front();
+  return true;
+}
+
+Task<std::vector<std::uint8_t>> NetStack::TcpConn::Read() {
+  while (rx.empty() && !peer_closed) {
+    co_await readable.Wait();
+  }
+  std::vector<std::uint8_t> out(rx.begin(), rx.end());
+  rx.clear();
+  co_return out;
+}
+
+Task<NetStack::TcpConn*> NetStack::Listener::Accept() {
+  while (accepted.empty()) {
+    co_await ready.Wait();
+  }
+  TcpConn* conn = accepted.front();
+  accepted.pop_front();
+  co_return conn;
+}
+
+NetStack::NetStack(hw::Machine& machine, int core, Ipv4Addr ip, MacAddr mac,
+                   StackCosts costs)
+    : machine_(machine), core_(core), ip_(ip), mac_(mac), costs_(costs) {}
+
+MacAddr NetStack::ResolveMac(Ipv4Addr ip) const {
+  auto it = arp_.find(ip);
+  if (it != arp_.end()) {
+    return it->second;
+  }
+  return MacAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+}
+
+Task<> NetStack::Emit(Packet frame, std::size_t payload_len) {
+  ++frames_out_;
+  co_await machine_.Compute(
+      core_, costs_.per_packet_out +
+                 static_cast<Cycles>(static_cast<double>(payload_len) *
+                                     costs_.per_byte_checksum));
+  if (output_) {
+    co_await output_(std::move(frame));
+  }
+}
+
+NetStack::UdpSocket& NetStack::UdpBind(std::uint16_t port) {
+  auto [it, inserted] = udp_.try_emplace(port, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<UdpSocket>(machine_.exec());
+  }
+  return *it->second;
+}
+
+Task<> NetStack::UdpSendTo(std::uint16_t src_port, Ipv4Addr dst_ip, std::uint16_t dst_port,
+                           std::vector<std::uint8_t> payload) {
+  EthHeader eth;
+  eth.src = mac_;
+  eth.dst = ResolveMac(dst_ip);
+  IpHeader ip;
+  ip.src = ip_;
+  ip.dst = dst_ip;
+  ip.ident = ip_ident_++;
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  std::size_t len = payload.size();
+  Packet frame = BuildUdpFrame(eth, ip, udp, payload.data(), payload.size());
+  co_await Emit(std::move(frame), len);
+}
+
+Task<> NetStack::Input(Packet frame) {
+  ++frames_in_;
+  auto parsed = ParseFrame(frame);
+  co_await machine_.Compute(
+      core_, costs_.per_packet_in +
+                 static_cast<Cycles>(static_cast<double>(
+                                         parsed ? parsed->payload_len : frame.size()) *
+                                     costs_.per_byte_checksum));
+  if (!parsed || (parsed->ip.dst != ip_ && parsed->ip.dst != 0xffffffff)) {
+    ++drops_;
+    co_return;
+  }
+  if (parsed->udp) {
+    auto it = udp_.find(parsed->udp->dst_port);
+    if (it == udp_.end()) {
+      ++drops_;
+      co_return;
+    }
+    UdpDatagram d;
+    d.src_ip = parsed->ip.src;
+    d.src_port = parsed->udp->src_port;
+    d.payload.assign(frame.begin() + static_cast<std::ptrdiff_t>(parsed->payload_offset),
+                     frame.begin() + static_cast<std::ptrdiff_t>(parsed->payload_offset +
+                                                                 parsed->payload_len));
+    it->second->queue.push_back(std::move(d));
+    it->second->ready.Signal();
+    co_return;
+  }
+  if (parsed->tcp) {
+    co_await HandleTcp(*parsed, frame);
+    co_return;
+  }
+  ++drops_;
+}
+
+Task<> NetStack::SendTcpSegment(TcpConn& conn, TcpFlags flags, const std::uint8_t* data,
+                                std::size_t len) {
+  EthHeader eth;
+  eth.src = mac_;
+  eth.dst = ResolveMac(conn.remote_ip);
+  IpHeader ip;
+  ip.src = ip_;
+  ip.dst = conn.remote_ip;
+  ip.ident = ip_ident_++;
+  TcpHeader tcp;
+  tcp.src_port = conn.local_port;
+  tcp.dst_port = conn.remote_port;
+  tcp.seq = conn.snd_nxt;
+  tcp.ack = conn.rcv_nxt;
+  tcp.flags = flags;
+  conn.snd_nxt += static_cast<std::uint32_t>(len) + (flags.syn ? 1 : 0) +
+                  (flags.fin ? 1 : 0);
+  Packet frame = BuildTcpFrame(eth, ip, tcp, data, len);
+  co_await Emit(std::move(frame), len);
+}
+
+NetStack::Listener& NetStack::TcpListen(std::uint16_t port) {
+  auto [it, inserted] = listeners_.try_emplace(port, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Listener>(machine_.exec());
+  }
+  return *it->second;
+}
+
+Task<NetStack::TcpConn*> NetStack::TcpConnect(Ipv4Addr dst_ip, std::uint16_t dst_port) {
+  auto conn = std::make_unique<TcpConn>(machine_.exec());
+  TcpConn* c = conn.get();
+  c->remote_ip = dst_ip;
+  c->remote_port = dst_port;
+  c->local_port = next_ephemeral_++;
+  c->snd_nxt = 1000;  // deterministic ISN
+  conns_[{dst_ip, dst_port, c->local_port}] = std::move(conn);
+  co_await SendTcpSegment(*c, TcpFlags{.syn = true}, nullptr, 0);
+  while (!c->established) {
+    co_await c->readable.Wait();
+  }
+  co_return c;
+}
+
+Task<> NetStack::HandleTcp(const ParsedFrame& f, const Packet& frame) {
+  const TcpHeader& tcp = *f.tcp;
+  auto key = std::make_tuple(f.ip.src, tcp.src_port, tcp.dst_port);
+  auto it = conns_.find(key);
+  if (it == conns_.end()) {
+    // New connection? Only if someone listens and this is a SYN.
+    auto lit = listeners_.find(tcp.dst_port);
+    if (lit == listeners_.end() || !tcp.flags.syn) {
+      ++drops_;
+      co_return;
+    }
+    auto conn = std::make_unique<TcpConn>(machine_.exec());
+    TcpConn* c = conn.get();
+    c->remote_ip = f.ip.src;
+    c->remote_port = tcp.src_port;
+    c->local_port = tcp.dst_port;
+    c->rcv_nxt = tcp.seq + 1;
+    c->snd_nxt = 5000;  // deterministic ISN
+    conns_[key] = std::move(conn);
+    co_await SendTcpSegment(*c, TcpFlags{.syn = true, .ack = true}, nullptr, 0);
+    c->established = true;  // completes on the client's ACK (lossless link)
+    lit->second->accepted.push_back(c);
+    lit->second->ready.Signal();
+    co_return;
+  }
+  TcpConn& c = *it->second;
+  if (tcp.flags.syn && tcp.flags.ack && !c.established) {
+    // Our SYN was answered: complete the client side.
+    c.rcv_nxt = tcp.seq + 1;
+    c.established = true;
+    co_await SendTcpSegment(c, TcpFlags{.ack = true}, nullptr, 0);
+    c.readable.Signal();
+    co_return;
+  }
+  bool advanced = false;
+  if (f.payload_len > 0 && tcp.seq == c.rcv_nxt) {
+    c.rx.insert(c.rx.end(),
+                frame.begin() + static_cast<std::ptrdiff_t>(f.payload_offset),
+                frame.begin() + static_cast<std::ptrdiff_t>(f.payload_offset +
+                                                            f.payload_len));
+    c.rcv_nxt += static_cast<std::uint32_t>(f.payload_len);
+    advanced = true;
+  }
+  // In-order FIN (rcv_nxt was already advanced past any payload above).
+  if (tcp.flags.fin &&
+      tcp.seq + static_cast<std::uint32_t>(f.payload_len) == c.rcv_nxt) {
+    c.rcv_nxt += 1;
+    c.peer_closed = true;
+    advanced = true;
+    c.closed_ev.Signal();
+  }
+  if (advanced) {
+    co_await SendTcpSegment(c, TcpFlags{.ack = true}, nullptr, 0);
+    c.readable.Signal();
+  }
+}
+
+Task<> NetStack::TcpSend(TcpConn& conn, const std::uint8_t* data, std::size_t len) {
+  constexpr std::size_t kMss = kMtu - kIpHeaderBytes - kTcpHeaderBytes;
+  std::size_t off = 0;
+  while (off < len) {
+    std::size_t seg = std::min(kMss, len - off);
+    co_await SendTcpSegment(conn, TcpFlags{.ack = true}, data + off, seg);
+    off += seg;
+  }
+}
+
+Task<> NetStack::TcpSend(TcpConn& conn, const std::string& data) {
+  co_await TcpSend(conn, reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+}
+
+Task<> NetStack::TcpClose(TcpConn& conn) {
+  co_await SendTcpSegment(conn, TcpFlags{.ack = true, .fin = true}, nullptr, 0);
+}
+
+}  // namespace mk::net

@@ -1,0 +1,216 @@
+#include "net/wire.h"
+
+namespace mk::net {
+namespace {
+
+void Put16(Packet& p, std::uint16_t v) {
+  p.push_back(static_cast<std::uint8_t>(v >> 8));
+  p.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Put32(Packet& p, std::uint32_t v) {
+  Put16(p, static_cast<std::uint16_t>(v >> 16));
+  Put16(p, static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t Get16(const std::uint8_t* d) {
+  return static_cast<std::uint16_t>((d[0] << 8) | d[1]);
+}
+
+std::uint32_t Get32(const std::uint8_t* d) {
+  return (static_cast<std::uint32_t>(Get16(d)) << 16) | Get16(d + 2);
+}
+
+void Patch16(Packet& p, std::size_t off, std::uint16_t v) {
+  p[off] = static_cast<std::uint8_t>(v >> 8);
+  p[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+// Pseudo-header contribution for UDP/TCP checksums.
+std::uint32_t PseudoSum(Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto, std::uint16_t len) {
+  std::uint32_t sum = 0;
+  sum += src >> 16;
+  sum += src & 0xffff;
+  sum += dst >> 16;
+  sum += dst & 0xffff;
+  sum += proto;
+  sum += len;
+  return sum;
+}
+
+void AppendEth(Packet& p, const EthHeader& eth) {
+  p.insert(p.end(), eth.dst.begin(), eth.dst.end());
+  p.insert(p.end(), eth.src.begin(), eth.src.end());
+  Put16(p, eth.ethertype);
+}
+
+// Appends the IP header with a zero checksum; returns its offset.
+std::size_t AppendIp(Packet& p, const IpHeader& ip, std::size_t l4_and_payload) {
+  std::size_t off = p.size();
+  p.push_back(0x45);  // version 4, IHL 5
+  p.push_back(0);     // DSCP/ECN
+  Put16(p, static_cast<std::uint16_t>(kIpHeaderBytes + l4_and_payload));
+  Put16(p, ip.ident);
+  Put16(p, 0x4000);  // DF, no fragments
+  p.push_back(ip.ttl);
+  p.push_back(ip.protocol);
+  Put16(p, 0);  // checksum placeholder
+  Put32(p, ip.src);
+  Put32(p, ip.dst);
+  std::uint16_t csum = InternetChecksum(p.data() + off, kIpHeaderBytes);
+  Patch16(p, off + 10, csum);
+  return off;
+}
+
+}  // namespace
+
+std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len,
+                               std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < len) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+Packet BuildUdpFrame(const EthHeader& eth, IpHeader ip, UdpHeader udp,
+                     const std::uint8_t* payload, std::size_t payload_len) {
+  ip.protocol = kIpProtoUdp;
+  Packet p;
+  p.reserve(kEthHeaderBytes + kIpHeaderBytes + kUdpHeaderBytes + payload_len);
+  AppendEth(p, eth);
+  AppendIp(p, ip, kUdpHeaderBytes + payload_len);
+  std::size_t udp_off = p.size();
+  auto udp_len = static_cast<std::uint16_t>(kUdpHeaderBytes + payload_len);
+  Put16(p, udp.src_port);
+  Put16(p, udp.dst_port);
+  Put16(p, udp_len);
+  Put16(p, 0);  // checksum placeholder
+  p.insert(p.end(), payload, payload + payload_len);
+  std::uint16_t csum = InternetChecksum(p.data() + udp_off, udp_len,
+                                        PseudoSum(ip.src, ip.dst, kIpProtoUdp, udp_len));
+  if (csum == 0) {
+    csum = 0xffff;  // RFC 768: transmitted as all ones
+  }
+  Patch16(p, udp_off + 6, csum);
+  return p;
+}
+
+Packet BuildTcpFrame(const EthHeader& eth, IpHeader ip, const TcpHeader& tcp,
+                     const std::uint8_t* payload, std::size_t payload_len) {
+  ip.protocol = kIpProtoTcp;
+  Packet p;
+  p.reserve(kEthHeaderBytes + kIpHeaderBytes + kTcpHeaderBytes + payload_len);
+  AppendEth(p, eth);
+  AppendIp(p, ip, kTcpHeaderBytes + payload_len);
+  std::size_t tcp_off = p.size();
+  Put16(p, tcp.src_port);
+  Put16(p, tcp.dst_port);
+  Put32(p, tcp.seq);
+  Put32(p, tcp.ack);
+  std::uint8_t flags = 0;
+  if (tcp.flags.fin) flags |= 0x01;
+  if (tcp.flags.syn) flags |= 0x02;
+  if (tcp.flags.rst) flags |= 0x04;
+  if (tcp.flags.ack) flags |= 0x10;
+  p.push_back(0x50);  // data offset 5 words
+  p.push_back(flags);
+  Put16(p, tcp.window);
+  Put16(p, 0);  // checksum placeholder
+  Put16(p, 0);  // urgent pointer
+  p.insert(p.end(), payload, payload + payload_len);
+  auto tcp_len = static_cast<std::uint16_t>(kTcpHeaderBytes + payload_len);
+  std::uint16_t csum = InternetChecksum(p.data() + tcp_off, tcp_len,
+                                        PseudoSum(ip.src, ip.dst, kIpProtoTcp, tcp_len));
+  Patch16(p, tcp_off + 16, csum);
+  return p;
+}
+
+std::optional<ParsedFrame> ParseFrame(const Packet& frame) {
+  if (frame.size() < kEthHeaderBytes + kIpHeaderBytes) {
+    return std::nullopt;
+  }
+  ParsedFrame out;
+  const std::uint8_t* d = frame.data();
+  std::copy(d, d + 6, out.eth.dst.begin());
+  std::copy(d + 6, d + 12, out.eth.src.begin());
+  out.eth.ethertype = Get16(d + 12);
+  if (out.eth.ethertype != kEtherTypeIpv4) {
+    return std::nullopt;
+  }
+  const std::uint8_t* ip = d + kEthHeaderBytes;
+  if ((ip[0] >> 4) != 4 || (ip[0] & 0x0f) != 5) {
+    return std::nullopt;
+  }
+  if (InternetChecksum(ip, kIpHeaderBytes) != 0) {
+    return std::nullopt;  // corrupt IP header
+  }
+  out.ip.total_length = Get16(ip + 2);
+  out.ip.ident = Get16(ip + 4);
+  out.ip.ttl = ip[8];
+  out.ip.protocol = ip[9];
+  out.ip.src = Get32(ip + 12);
+  out.ip.dst = Get32(ip + 16);
+  if (out.ip.total_length < kIpHeaderBytes ||
+      kEthHeaderBytes + out.ip.total_length > frame.size()) {
+    return std::nullopt;
+  }
+  const std::uint8_t* l4 = ip + kIpHeaderBytes;
+  std::size_t l4_len = out.ip.total_length - kIpHeaderBytes;
+  if (out.ip.protocol == kIpProtoUdp) {
+    if (l4_len < kUdpHeaderBytes) {
+      return std::nullopt;
+    }
+    UdpHeader udp;
+    udp.src_port = Get16(l4);
+    udp.dst_port = Get16(l4 + 2);
+    udp.length = Get16(l4 + 4);
+    if (udp.length < kUdpHeaderBytes || udp.length > l4_len) {
+      return std::nullopt;
+    }
+    if (Get16(l4 + 6) != 0 &&
+        InternetChecksum(l4, udp.length,
+                         PseudoSum(out.ip.src, out.ip.dst, kIpProtoUdp, udp.length)) != 0) {
+      return std::nullopt;  // corrupt UDP payload
+    }
+    out.udp = udp;
+    out.payload_offset = kEthHeaderBytes + kIpHeaderBytes + kUdpHeaderBytes;
+    out.payload_len = udp.length - kUdpHeaderBytes;
+    return out;
+  }
+  if (out.ip.protocol == kIpProtoTcp) {
+    if (l4_len < kTcpHeaderBytes) {
+      return std::nullopt;
+    }
+    TcpHeader tcp;
+    tcp.src_port = Get16(l4);
+    tcp.dst_port = Get16(l4 + 2);
+    tcp.seq = Get32(l4 + 4);
+    tcp.ack = Get32(l4 + 8);
+    std::uint8_t flags = l4[13];
+    tcp.flags.fin = (flags & 0x01) != 0;
+    tcp.flags.syn = (flags & 0x02) != 0;
+    tcp.flags.rst = (flags & 0x04) != 0;
+    tcp.flags.ack = (flags & 0x10) != 0;
+    tcp.window = Get16(l4 + 14);
+    if (InternetChecksum(l4, l4_len,
+                         PseudoSum(out.ip.src, out.ip.dst, kIpProtoTcp,
+                                   static_cast<std::uint16_t>(l4_len))) != 0) {
+      return std::nullopt;
+    }
+    out.tcp = tcp;
+    out.payload_offset = kEthHeaderBytes + kIpHeaderBytes + kTcpHeaderBytes;
+    out.payload_len = l4_len - kTcpHeaderBytes;
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mk::net

@@ -1,0 +1,105 @@
+// Wire formats: Ethernet, ARP (minimal), IPv4, UDP, TCP headers with real
+// serialization and Internet checksums.
+//
+// The network stack (section 5.4: "our current network stack runs a separate
+// instance of lwIP per application") operates on these for functional
+// correctness — checksums are computed and verified for real — while the
+// timing of packet handling is charged to the simulated machine by the stack
+// and NIC layers.
+#ifndef MK_NET_WIRE_H_
+#define MK_NET_WIRE_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mk::net {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+using Ipv4Addr = std::uint32_t;  // host byte order internally
+
+constexpr Ipv4Addr MakeIp(int a, int b, int c, int d) {
+  return (static_cast<Ipv4Addr>(a) << 24) | (static_cast<Ipv4Addr>(b) << 16) |
+         (static_cast<Ipv4Addr>(c) << 8) | static_cast<Ipv4Addr>(d);
+}
+
+// A packet is a flat byte buffer; headers are pushed in front of payloads.
+using Packet = std::vector<std::uint8_t>;
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::size_t kEthHeaderBytes = 14;
+inline constexpr std::size_t kIpHeaderBytes = 20;
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+inline constexpr std::size_t kTcpHeaderBytes = 20;
+inline constexpr std::size_t kMtu = 1500;
+
+struct EthHeader {
+  MacAddr dst{};
+  MacAddr src{};
+  std::uint16_t ethertype = kEtherTypeIpv4;
+};
+
+struct IpHeader {
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoUdp;
+  Ipv4Addr src = 0;
+  Ipv4Addr dst = 0;
+  std::uint16_t total_length = 0;  // filled by serializer
+  std::uint16_t ident = 0;
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // filled by serializer
+};
+
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 65535;
+};
+
+// RFC 1071 Internet checksum over a byte range (+optional pseudo header sum).
+std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len,
+                               std::uint32_t initial = 0);
+
+// --- Builders: return a complete frame (Ethernet + IP + L4 + payload). ---
+
+Packet BuildUdpFrame(const EthHeader& eth, IpHeader ip, UdpHeader udp,
+                     const std::uint8_t* payload, std::size_t payload_len);
+
+Packet BuildTcpFrame(const EthHeader& eth, IpHeader ip, const TcpHeader& tcp,
+                     const std::uint8_t* payload, std::size_t payload_len);
+
+// --- Parsers: validate lengths and checksums; nullopt on any corruption. ---
+
+struct ParsedFrame {
+  EthHeader eth;
+  IpHeader ip;
+  // Exactly one of these is set, matching ip.protocol.
+  std::optional<UdpHeader> udp;
+  std::optional<TcpHeader> tcp;
+  std::size_t payload_offset = 0;
+  std::size_t payload_len = 0;
+};
+
+std::optional<ParsedFrame> ParseFrame(const Packet& frame);
+
+}  // namespace mk::net
+
+#endif  // MK_NET_WIRE_H_

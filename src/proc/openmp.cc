@@ -1,0 +1,46 @@
+#include "proc/openmp.h"
+
+namespace mk::proc {
+
+OmpRuntime::OmpRuntime(hw::Machine& machine, std::vector<int> cores, SyncFlavor flavor)
+    : machine_(machine),
+      flavor_(flavor),
+      team_(machine, std::move(cores)),
+      barrier_(machine, team_.size(), flavor) {
+  reduce_line_ = machine_.mem().AllocLines(0, 1);
+}
+
+OmpRuntime::Range OmpRuntime::ChunkOf(std::int64_t n, int tid) const {
+  const auto threads = static_cast<std::int64_t>(team_.size());
+  std::int64_t chunk = (n + threads - 1) / threads;
+  Range r;
+  r.begin = tid * chunk;
+  r.end = r.begin + chunk < n ? r.begin + chunk : n;
+  if (r.begin > n) {
+    r.begin = n;
+  }
+  return r;
+}
+
+Task<> OmpRuntime::Parallel(const ThreadTeam::Body& body) {
+  Barrier* barrier = &barrier_;
+  co_await team_.Run([&body, barrier](int tid, int core) -> Task<> {
+    co_await body(tid, core);
+    co_await barrier->Arrive(core);
+  });
+}
+
+Task<> OmpRuntime::ParallelFor(std::int64_t n, const ForBody& body) {
+  co_await Parallel([this, n, &body](int tid, int core) -> Task<> {
+    Range r = ChunkOf(n, tid);
+    if (r.begin < r.end) {
+      co_await body(tid, core, r.begin, r.end);
+    }
+  });
+}
+
+Task<> OmpRuntime::ReduceContribution(int core) {
+  co_await machine_.mem().Write(core, reduce_line_);
+}
+
+}  // namespace mk::proc

@@ -1,0 +1,62 @@
+// Minimal OpenMP-like runtime for the Figure 9 workloads (section 5.3).
+//
+// The paper runs the NAS OpenMP benchmarks with GNU GOMP on Linux and "our
+// own implementation over Barrelfish". This runtime provides the pieces those
+// kernels need — a worker team, parallel-for with static scheduling, barriers
+// and reductions — parameterized by SyncFlavor so the same workload code runs
+// with either OS's synchronization behavior.
+#ifndef MK_PROC_OPENMP_H_
+#define MK_PROC_OPENMP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hw/machine.h"
+#include "proc/threads.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::proc {
+
+class OmpRuntime {
+ public:
+  OmpRuntime(hw::Machine& machine, std::vector<int> cores, SyncFlavor flavor);
+
+  int num_threads() const { return team_.size(); }
+  SyncFlavor flavor() const { return flavor_; }
+  hw::Machine& machine() { return machine_; }
+  Barrier& barrier() { return barrier_; }
+
+  // Static chunk of [0, n) for thread `tid`.
+  struct Range {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+  Range ChunkOf(std::int64_t n, int tid) const;
+
+  // #pragma omp parallel: runs body(tid, core) on every worker, with an
+  // implicit ending barrier.
+  Task<> Parallel(const ThreadTeam::Body& body);
+
+  // #pragma omp parallel for (static): body(tid, core, begin, end).
+  using ForBody = std::function<Task<>(int tid, int core, std::int64_t begin,
+                                       std::int64_t end)>;
+  Task<> ParallelFor(std::int64_t n, const ForBody& body);
+
+  // A reduction combines per-thread partials through a shared cache line
+  // (each contribution is a coherent write) followed by a barrier.
+  Task<> ReduceContribution(int core);
+
+ private:
+  hw::Machine& machine_;
+  SyncFlavor flavor_;
+  ThreadTeam team_;
+  Barrier barrier_;
+  sim::Addr reduce_line_;
+};
+
+}  // namespace mk::proc
+
+#endif  // MK_PROC_OPENMP_H_

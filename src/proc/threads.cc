@@ -1,0 +1,126 @@
+#include "proc/threads.h"
+
+namespace mk::proc {
+
+Barrier::Barrier(hw::Machine& machine, int parties, SyncFlavor flavor, int home_node)
+    : machine_(machine), parties_(parties), flavor_(flavor), release_(machine.exec()) {
+  count_line_ = machine_.mem().AllocLines(home_node, 1);
+  release_line_ = machine_.mem().AllocLines(home_node, 1);
+}
+
+Task<> Barrier::Arrive(int core) {
+  // Atomic increment of the arrival counter: a coherent read-modify-write on
+  // a line every arriving core touches (the contention point).
+  co_await machine_.mem().Write(core, count_line_);
+  if (flavor_ == SyncFlavor::kKernel) {
+    // GOMP-style: the barrier crosses the kernel (futex syscall) even before
+    // deciding to sleep.
+    co_await machine_.Syscall(core);
+  }
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    // Release: flip the sense line; all spinners re-fetch it.
+    co_await machine_.mem().Write(core, release_line_);
+    if (flavor_ == SyncFlavor::kKernel) {
+      // futex_wake walks and wakes each sleeper in the kernel.
+      co_await machine_.Compute(core, machine_.cost().syscall +
+                                          static_cast<Cycles>(parties_ - 1) * 350);
+    }
+    release_.Signal();
+    co_return;
+  }
+  std::uint64_t gen = generation_;
+  while (generation_ == gen) {
+    co_await release_.Wait();
+  }
+  // The releasing write invalidated our copy of the sense line; the spin
+  // loop's next read misses and fetches it.
+  co_await machine_.mem().Read(core, release_line_);
+  if (flavor_ == SyncFlavor::kKernel) {
+    // Woken out of futex_wait: return to user through the scheduler.
+    co_await machine_.Compute(core, machine_.cost().context_switch / 2);
+  }
+}
+
+Mutex::Mutex(hw::Machine& machine, SyncFlavor flavor, int home_node)
+    : machine_(machine), flavor_(flavor), available_(machine.exec()) {
+  line_ = machine_.mem().AllocLines(home_node, 1);
+}
+
+Task<> Mutex::Lock(int core) {
+  while (true) {
+    // Test-and-set: a coherent write on the lock line.
+    co_await machine_.mem().Write(core, line_);
+    if (!locked_) {
+      locked_ = true;
+      co_return;
+    }
+    ++waiters_;
+    if (flavor_ == SyncFlavor::kKernel) {
+      // futex_wait on contention.
+      co_await machine_.Syscall(core);
+      co_await available_.Wait();
+      co_await machine_.Compute(core, machine_.cost().context_switch / 2);
+    } else {
+      // User-space: brief spin then yield to the local dispatcher.
+      co_await machine_.exec().Delay(120);
+      co_await available_.Wait();
+    }
+    --waiters_;
+  }
+}
+
+Task<> Mutex::Unlock(int core) {
+  locked_ = false;
+  co_await machine_.mem().Write(core, line_);
+  if (waiters_ > 0) {
+    if (flavor_ == SyncFlavor::kKernel) {
+      co_await machine_.Syscall(core);  // futex_wake
+    }
+    available_.SignalOne();
+  }
+}
+
+ThreadTeam::ThreadTeam(hw::Machine& machine, std::vector<int> cores)
+    : machine_(machine), cores_(std::move(cores)) {}
+
+namespace {
+
+Task<> RunWorker(hw::Machine& machine, const ThreadTeam::Body& body, int tid, int core,
+                 int* remaining, sim::Event* joined) {
+  // Thread start-up: dispatch onto the core.
+  co_await machine.Compute(core, machine.cost().dispatch);
+  co_await body(tid, core);
+  if (--*remaining == 0) {
+    joined->Signal();
+  }
+}
+
+}  // namespace
+
+Task<> ThreadTeam::Run(const Body& body) {
+  int remaining = size();
+  sim::Event joined(machine_.exec());
+  for (int tid = 0; tid < size(); ++tid) {
+    machine_.exec().Spawn(
+        RunWorker(machine_, body, tid, cores_[static_cast<std::size_t>(tid)], &remaining,
+                  &joined));
+  }
+  while (remaining > 0) {
+    co_await joined.Wait();
+  }
+}
+
+Task<Cycles> MigrateThread(hw::Machine& machine, int from_core, int to_core) {
+  const Cycles t0 = machine.exec().now();
+  // The source dispatcher packages the thread state (a couple of lines) and
+  // messages the destination dispatcher, which dispatches the thread.
+  Addr state = machine.mem().AllocLines(machine.topo().PackageOf(from_core), 2);
+  co_await machine.mem().Write(from_core, state, 2 * sim::kCacheLineBytes);
+  co_await machine.mem().Read(to_core, state, 2 * sim::kCacheLineBytes);
+  co_await machine.Compute(to_core, machine.cost().dispatch);
+  co_return machine.exec().now() - t0;
+}
+
+}  // namespace mk::proc

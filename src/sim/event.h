@@ -1,0 +1,246 @@
+// Synchronization primitives for simulated tasks: Event, Semaphore, Mailbox.
+//
+// These are *simulation-level* primitives (they cost zero simulated cycles to
+// use); they model control-flow coupling inside one simulated component.
+// Anything that should cost cycles or interconnect traffic must instead go
+// through the hw:: machine model.
+#ifndef MK_SIM_EVENT_H_
+#define MK_SIM_EVENT_H_
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/executor.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::sim {
+
+// A broadcast condition: Wait() suspends until the next Signal(). Signal wakes
+// every currently-waiting task at the current simulated time. WaitTimeout()
+// additionally resumes after a deadline, reporting whether the event fired.
+class Event {
+ public:
+  explicit Event(Executor& exec) : exec_(exec) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  auto Wait() {
+    struct Awaiter {
+      Event* event;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        event->waiters_.push_back(std::make_shared<Node>(Node{h, true, false}));
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  // Suspends until Signal() or until `timeout` cycles elapse, whichever comes
+  // first. Returns true if the event was signaled in time.
+  auto WaitTimeout(Cycles timeout) {
+    struct Awaiter {
+      Event* event;
+      Cycles timeout;
+      std::shared_ptr<Node> node;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        node = std::make_shared<Node>(Node{h, true, false});
+        event->waiters_.push_back(node);
+        Executor& exec = event->exec_;
+        exec.CallAt(exec.now() + timeout, [node = node, &exec] {
+          if (node->active) {
+            node->active = false;
+            node->signaled = false;
+            exec.ScheduleAt(exec.now(), node->handle);
+          }
+        });
+      }
+      bool await_resume() const noexcept { return node->signaled; }
+    };
+    return Awaiter{this, timeout, nullptr};
+  }
+
+  // Wakes all waiters. Waiters registered after this call wait for the next
+  // signal.
+  void Signal() {
+    auto woken = std::move(waiters_);
+    waiters_.clear();
+    for (auto& node : woken) {
+      WakeNode(*node);
+    }
+  }
+
+  // Wakes the oldest waiter, if any. Returns whether a waiter was woken.
+  bool SignalOne() {
+    while (!waiters_.empty()) {
+      auto node = waiters_.front();
+      waiters_.erase(waiters_.begin());
+      if (node->active) {
+        WakeNode(*node);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t waiter_count() const {
+    std::size_t n = 0;
+    for (const auto& node : waiters_) {
+      if (node->active) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  struct Node {
+    std::coroutine_handle<> handle;
+    bool active = true;
+    bool signaled = false;
+  };
+
+  void WakeNode(Node& node) {
+    if (!node.active) {
+      return;
+    }
+    node.active = false;
+    node.signaled = true;
+    exec_.ScheduleAt(exec_.now(), node.handle);
+  }
+
+  Executor& exec_;
+  std::vector<std::shared_ptr<Node>> waiters_;
+};
+
+// Counting semaphore with FIFO wakeup order.
+class Semaphore {
+ public:
+  Semaphore(Executor& exec, std::size_t initial) : exec_(exec), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  auto Acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() const noexcept {
+        if (sem->count_ > 0 && sem->waiters_.empty()) {
+          --sem->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void Release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      exec_.ScheduleAt(exec_.now(), h);
+      return;
+    }
+    ++count_;
+  }
+
+  std::size_t available() const { return count_; }
+
+ private:
+  Executor& exec_;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// An unbounded single-consumer mailbox carrying values of type T. Used for
+// zero-cost intra-component queues (e.g. a CPU driver's pending-trap queue).
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Executor& exec) : exec_(exec), ready_(exec) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void Send(T value) {
+    items_.push_back(std::move(value));
+    ready_.SignalOne();
+  }
+
+  Task<T> Recv() {
+    while (items_.empty()) {
+      co_await ready_.Wait();
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    co_return value;
+  }
+
+  bool TryRecv(T* out) {
+    if (items_.empty()) {
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  Executor& exec_;
+  Event ready_;
+  std::deque<T> items_;
+};
+
+// A serially-occupied resource (a memory controller, an interconnect link, a
+// NIC DMA engine). Transactions reserve `service` cycles of exclusive use;
+// arrivals while busy queue FIFO. Returns the completion time, so callers
+// co_await exec.Delay(completion - now) to model the queueing + service delay.
+class FifoResource {
+ public:
+  FifoResource() = default;
+
+  Cycles ReserveAt(Cycles now, Cycles service) {
+    Cycles start = now > busy_until_ ? now : busy_until_;
+    busy_until_ = start + service;
+    total_busy_ += service;
+    ++transactions_;
+    return busy_until_;
+  }
+
+  Cycles busy_until() const { return busy_until_; }
+  Cycles total_busy() const { return total_busy_; }
+  std::uint64_t transactions() const { return transactions_; }
+
+  // Utilization over [0, horizon], in [0, 1].
+  double Utilization(Cycles horizon) const {
+    if (horizon == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(total_busy_) / static_cast<double>(horizon);
+  }
+
+  void Reset() {
+    busy_until_ = 0;
+    total_busy_ = 0;
+    transactions_ = 0;
+  }
+
+ private:
+  Cycles busy_until_ = 0;
+  Cycles total_busy_ = 0;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace mk::sim
+
+#endif  // MK_SIM_EVENT_H_

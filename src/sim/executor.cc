@@ -1,0 +1,90 @@
+#include "sim/executor.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace mk::sim {
+namespace {
+
+// Wrapper coroutine owning a detached task's frame. Self-destroys on
+// completion (final_suspend never suspends).
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      try {
+        std::rethrow_exception(std::current_exception());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fatal: exception escaped detached sim task: %s\n", e.what());
+      } catch (...) {
+        std::fprintf(stderr, "fatal: unknown exception escaped detached sim task\n");
+      }
+      std::abort();
+    }
+  };
+};
+
+Detached RunDetached(Task<> task, std::size_t* live_counter) {
+  co_await std::move(task);
+  --*live_counter;
+}
+
+}  // namespace
+
+void Executor::ScheduleAt(Cycles t, std::coroutine_handle<> h) {
+  if (t < now_) {
+    t = now_;
+  }
+  queue_.push(Item{t, next_seq_++, h, nullptr});
+}
+
+void Executor::CallAt(Cycles t, std::function<void()> fn) {
+  if (t < now_) {
+    t = now_;
+  }
+  queue_.push(Item{t, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Executor::Spawn(Task<> task) {
+  ++live_tasks_;
+  // The wrapper starts eagerly; the inner task suspends at its first await or
+  // completes synchronously, decrementing the live counter.
+  RunDetached(std::move(task), &live_tasks_);
+}
+
+void Executor::Dispatch(Item& item) {
+  now_ = item.at;
+  ++events_dispatched_;
+  if (item.handle) {
+    item.handle.resume();
+  } else {
+    item.fn();
+  }
+}
+
+Cycles Executor::Run() {
+  while (!queue_.empty()) {
+    Item item = queue_.top();
+    queue_.pop();
+    Dispatch(item);
+  }
+  return now_;
+}
+
+bool Executor::RunUntil(Cycles deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Item item = queue_.top();
+    queue_.pop();
+    Dispatch(item);
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return !queue_.empty();
+}
+
+}  // namespace mk::sim

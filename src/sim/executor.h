@@ -1,0 +1,104 @@
+// Deterministic discrete-event executor: the simulated machine's clock.
+//
+// All simulated activity is driven by a single min-heap of timestamped events.
+// Ties are broken by insertion order, so a given seed always produces a
+// bit-identical run. The executor is single-threaded by design; parallelism in
+// the simulated machine is expressed as interleaved events, not host threads.
+#ifndef MK_SIM_EXECUTOR_H_
+#define MK_SIM_EXECUTOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::sim {
+
+class Executor {
+ public:
+  Executor() = default;
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  Cycles now() const { return now_; }
+
+  // Resumes `h` at absolute time `t` (clamped to now()).
+  void ScheduleAt(Cycles t, std::coroutine_handle<> h);
+
+  // Runs `fn` at absolute time `t` (clamped to now()).
+  void CallAt(Cycles t, std::function<void()> fn);
+
+  // Awaitable: suspends the current task for `d` cycles of simulated time.
+  auto Delay(Cycles d) {
+    struct Awaiter {
+      Executor* exec;
+      Cycles delay;
+      bool await_ready() const noexcept { return delay == 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        exec->ScheduleAt(exec->now_ + delay, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  // Awaitable: reschedules the current task at the back of the current
+  // timestamp's queue, letting other ready tasks run first.
+  auto Yield() {
+    struct Awaiter {
+      Executor* exec;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { exec->ScheduleAt(exec->now_, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  // Starts a detached task. The executor owns its frame until completion; an
+  // exception escaping a detached task aborts the simulation with a message.
+  void Spawn(Task<> task);
+
+  // Runs until the event queue drains. Returns the final simulated time.
+  Cycles Run();
+
+  // Runs events with timestamp <= `deadline`. Returns true if events remain.
+  bool RunUntil(Cycles deadline);
+
+  // Detached tasks spawned and not yet completed.
+  std::size_t live_tasks() const { return live_tasks_; }
+
+  // Total events dispatched so far (diagnostics / microbenchmarks).
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+
+ private:
+  struct Item {
+    Cycles at;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;      // exactly one of handle/fn is set
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(Item& item);
+
+  Cycles now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::size_t live_tasks_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+};
+
+}  // namespace mk::sim
+
+#endif  // MK_SIM_EXECUTOR_H_

@@ -1,0 +1,91 @@
+// Statistics accumulators used by the benchmark harnesses.
+#ifndef MK_SIM_STATS_H_
+#define MK_SIM_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mk::sim {
+
+// Welford online mean / standard deviation.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  void Reset() { *this = RunningStat(); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width linear histogram with overflow bucket; used for latency
+// distributions in the messaging experiments.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets + 1, 0) {}
+
+  void Add(double x) {
+    stat_.Add(x);
+    if (x < lo_) {
+      ++counts_.front();
+      return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size() - 1) {
+      ++counts_.back();  // overflow bucket
+    } else {
+      ++counts_[idx];
+    }
+  }
+
+  double Percentile(double p) const {
+    std::uint64_t total = stat_.count();
+    if (total == 0) {
+      return 0.0;
+    }
+    auto target = static_cast<std::uint64_t>(p * static_cast<double>(total));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen > target) {
+        return lo_ + width_ * static_cast<double>(i);
+      }
+    }
+    return lo_ + width_ * static_cast<double>(counts_.size());
+  }
+
+  const RunningStat& stat() const { return stat_; }
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  RunningStat stat_;
+};
+
+}  // namespace mk::sim
+
+#endif  // MK_SIM_STATS_H_

@@ -1,0 +1,188 @@
+// Task<T>: a lazily-started coroutine used for all simulated activities.
+//
+// Simulated OS components (CPU drivers, monitors, applications) are written as
+// ordinary-looking sequential code that co_awaits simulated time (delays,
+// memory transactions, message arrivals). A Task does not run until it is
+// awaited or spawned on an Executor; completion resumes the awaiter via
+// symmetric transfer so nested calls add no simulated time of their own.
+//
+// WARNING (lambda coroutines): a coroutine lambda's captures live in the
+// lambda *object*, not the coroutine frame. A capturing lambda immediately
+// invoked and handed to Executor::Spawn dangles as soon as the temporary is
+// destroyed. Pass state as coroutine *parameters* instead — parameters are
+// copied (or reference-bound) into the frame and remain valid.
+#ifndef MK_SIM_TASK_H_
+#define MK_SIM_TASK_H_
+
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace mk::sim {
+
+template <typename T = void>
+class Task;
+
+namespace internal {
+
+class PromiseBase {
+ public:
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      PromiseBase& p = h.promise();
+      if (p.continuation_) {
+        return p.continuation_;
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { exception_ = std::current_exception(); }
+
+  void set_continuation(std::coroutine_handle<> c) noexcept { continuation_ = c; }
+
+  void RethrowIfFailed() {
+    if (exception_) {
+      std::rethrow_exception(exception_);
+    }
+  }
+
+ private:
+  std::coroutine_handle<> continuation_;
+  std::exception_ptr exception_;
+};
+
+}  // namespace internal
+
+// A lazily started coroutine producing a value of type T.
+template <typename T>
+class Task {
+ public:
+  class promise_type : public internal::PromiseBase {
+   public:
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T value) { value_.emplace(std::move(value)); }
+    T Consume() {
+      RethrowIfFailed();
+      return std::move(*value_);
+    }
+
+   private:
+    std::optional<T> value_;
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  // Awaiting a Task starts it and suspends the awaiter until it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) noexcept {
+        handle.promise().set_continuation(awaiter);
+        return handle;
+      }
+      T await_resume() { return handle.promise().Consume(); }
+    };
+    return Awaiter{handle_};
+  }
+
+  // Used by Executor::Spawn; not part of the public simulation API.
+  std::coroutine_handle<promise_type> release() noexcept { return std::exchange(handle_, {}); }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class Task<void> {
+ public:
+  class promise_type : public internal::PromiseBase {
+   public:
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+    void Consume() { RethrowIfFailed(); }
+  };
+
+  Task() noexcept = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) noexcept {
+        handle.promise().set_continuation(awaiter);
+        return handle;
+      }
+      void await_resume() { handle.promise().Consume(); }
+    };
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> release() noexcept { return std::exchange(handle_, {}); }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace mk::sim
+
+#endif  // MK_SIM_TASK_H_

@@ -1,0 +1,211 @@
+#include "skb/datalog.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace mk::skb {
+namespace {
+
+// Binding environment: variable name -> value.
+using Env = std::map<std::string, std::int64_t>;
+
+bool Unify(const Atom& atom, const std::vector<std::int64_t>& tuple, Env* env) {
+  if (atom.terms.size() != tuple.size()) {
+    return false;
+  }
+  Env local = *env;
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    const Term& t = atom.terms[i];
+    if (!t.is_var) {
+      if (t.constant != tuple[i]) {
+        return false;
+      }
+      continue;
+    }
+    auto it = local.find(t.var);
+    if (it == local.end()) {
+      local[t.var] = tuple[i];
+    } else if (it->second != tuple[i]) {
+      return false;
+    }
+  }
+  *env = std::move(local);
+  return true;
+}
+
+// Recursively matches body atoms, collecting grounded head tuples.
+void Solve(const FactStore& facts, const Rule& rule, std::size_t body_index, Env env,
+           std::vector<std::vector<std::int64_t>>* results) {
+  if (body_index == rule.body.size()) {
+    std::vector<std::int64_t> head;
+    for (const Term& t : rule.head.terms) {
+      if (t.is_var) {
+        auto it = env.find(t.var);
+        if (it == env.end()) {
+          return;  // unsafe rule: unbound head variable; derive nothing
+        }
+        head.push_back(it->second);
+      } else {
+        head.push_back(t.constant);
+      }
+    }
+    results->push_back(std::move(head));
+    return;
+  }
+  const Atom& atom = rule.body[body_index];
+  // Build the most-specific query pattern from current bindings.
+  std::vector<std::int64_t> pattern;
+  for (const Term& t : atom.terms) {
+    if (!t.is_var) {
+      pattern.push_back(t.constant);
+    } else {
+      auto it = env.find(t.var);
+      pattern.push_back(it == env.end() ? FactStore::kWildcard : it->second);
+    }
+  }
+  for (const auto& tuple : facts.Query(atom.relation, pattern)) {
+    Env extended = env;
+    if (Unify(atom, tuple, &extended)) {
+      Solve(facts, rule, body_index + 1, std::move(extended), results);
+    }
+  }
+}
+
+struct Parser {
+  explicit Parser(const std::string& text) : s(text) {}
+
+  void SkipWs() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    SkipWs();
+    std::size_t len = std::string(lit).size();
+    if (s.compare(pos, len, lit) == 0) {
+      pos += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Atom> ParseAtom() {
+    SkipWs();
+    std::string name;
+    while (pos < s.size() && (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+                              s[pos] == '_')) {
+      name += s[pos++];
+    }
+    if (name.empty() || !Literal("(")) {
+      return std::nullopt;
+    }
+    Atom atom;
+    atom.relation = name;
+    while (true) {
+      SkipWs();
+      if (pos >= s.size()) {
+        return std::nullopt;
+      }
+      if (std::isupper(static_cast<unsigned char>(s[pos]))) {
+        std::string var;
+        while (pos < s.size() && (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+                                  s[pos] == '_')) {
+          var += s[pos++];
+        }
+        atom.terms.push_back(Term::Var(std::move(var)));
+      } else if (std::isdigit(static_cast<unsigned char>(s[pos])) || s[pos] == '-') {
+        std::string num;
+        if (s[pos] == '-') {
+          num += s[pos++];
+        }
+        while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+          num += s[pos++];
+        }
+        atom.terms.push_back(Term::Const(std::stoll(num)));
+      } else {
+        return std::nullopt;
+      }
+      if (Literal(",")) {
+        continue;
+      }
+      if (Literal(")")) {
+        break;
+      }
+      return std::nullopt;
+    }
+    return atom;
+  }
+
+  const std::string& s;
+  std::size_t pos = 0;
+};
+
+}  // namespace
+
+std::optional<Rule> Datalog::Parse(const std::string& text) {
+  Parser p(text);
+  Rule rule;
+  auto head = p.ParseAtom();
+  if (!head) {
+    return std::nullopt;
+  }
+  rule.head = std::move(*head);
+  if (!p.Literal(":-")) {
+    return std::nullopt;
+  }
+  while (true) {
+    auto atom = p.ParseAtom();
+    if (!atom) {
+      return std::nullopt;
+    }
+    rule.body.push_back(std::move(*atom));
+    if (p.Literal(",")) {
+      continue;
+    }
+    break;
+  }
+  (void)p.Literal(".");
+  p.SkipWs();
+  if (p.pos != text.size()) {
+    return std::nullopt;
+  }
+  return rule;
+}
+
+bool Datalog::AddRuleText(const std::string& text) {
+  auto rule = Parse(text);
+  if (!rule) {
+    return false;
+  }
+  AddRule(std::move(*rule));
+  return true;
+}
+
+std::size_t Datalog::Evaluate() {
+  std::size_t added_total = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules_) {
+      std::vector<std::vector<std::int64_t>> derived;
+      Solve(facts_, rule, 0, Env{}, &derived);
+      // Deduplicate against the store.
+      std::set<std::vector<std::int64_t>> existing;
+      for (const auto& t : facts_.All(rule.head.relation)) {
+        existing.insert(t);
+      }
+      for (auto& tuple : derived) {
+        if (existing.insert(tuple).second) {
+          facts_.Assert(rule.head.relation, tuple);
+          ++added_total;
+          changed = true;
+        }
+      }
+    }
+  }
+  return added_total;
+}
+
+}  // namespace mk::skb

@@ -1,0 +1,83 @@
+// Datalog-lite: the SKB's "subset of first-order logic" (section 4.9).
+//
+// The real SKB embeds a port of the ECLiPSe CLP system; the policies this
+// paper derives from it need conjunctive rules over ground facts. This is a
+// naive bottom-up Datalog evaluator over the FactStore: rules like
+//
+//     connected(X, Y) :- link(X, Y).
+//     connected(X, Y) :- link(Y, X).
+//     reachable(X, Y) :- connected(X, Y).
+//     reachable(X, Z) :- reachable(X, Y), connected(Y, Z).
+//
+// are parsed from text and evaluated to a fixpoint, asserting the derived
+// facts back into the store where queries (route construction, placement)
+// can use them.
+#ifndef MK_SKB_DATALOG_H_
+#define MK_SKB_DATALOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "skb/skb.h"
+
+namespace mk::skb {
+
+// A term is a variable (name like X, Y) or an integer constant.
+struct Term {
+  bool is_var = false;
+  std::int64_t constant = 0;
+  std::string var;
+
+  static Term Var(std::string name) {
+    Term t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Const(std::int64_t v) {
+    Term t;
+    t.constant = v;
+    return t;
+  }
+};
+
+struct Atom {
+  std::string relation;
+  std::vector<Term> terms;
+};
+
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+};
+
+class Datalog {
+ public:
+  explicit Datalog(FactStore& facts) : facts_(facts) {}
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  // Parses "head(X,Y) :- body1(X,Z), body2(Z,Y)." (constants are integers;
+  // identifiers starting with an upper-case letter are variables). Returns
+  // nullopt on a syntax error.
+  static std::optional<Rule> Parse(const std::string& text);
+
+  // Convenience: parse + add; returns false on syntax error.
+  bool AddRuleText(const std::string& text);
+
+  // Naive bottom-up evaluation to fixpoint. Derived facts are asserted into
+  // the store (duplicates suppressed). Returns the number of new facts.
+  std::size_t Evaluate();
+
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  FactStore& facts_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace mk::skb
+
+#endif  // MK_SKB_DATALOG_H_

@@ -1,0 +1,193 @@
+// Property/fuzz tests for the coherence protocol: random concurrent access
+// sequences must preserve the MOESI-style invariants on every platform, and
+// the simulation must be deterministic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "sim/executor.h"
+#include "sim/random.h"
+
+namespace mk::hw {
+namespace {
+
+using sim::Addr;
+using sim::Cycles;
+using sim::Task;
+
+struct FuzzConfig {
+  const char* platform;
+  std::uint64_t seed;
+  int lines;
+  int ops_per_core;
+};
+
+PlatformSpec SpecByName(const char* name) {
+  for (auto& s : PaperPlatforms()) {
+    if (s.name == std::string_view(name)) {
+      return s;
+    }
+  }
+  return Generic(2, 2);
+}
+
+Task<> FuzzWorker(Machine& m, int core, Addr base, int lines, int ops, std::uint64_t seed) {
+  sim::Rng rng(seed ^ (static_cast<std::uint64_t>(core) << 32));
+  for (int i = 0; i < ops; ++i) {
+    Addr addr = base + rng.Below(static_cast<std::uint64_t>(lines)) * sim::kCacheLineBytes;
+    switch (rng.Below(4)) {
+      case 0:
+        co_await m.mem().Read(core, addr);
+        break;
+      case 1:
+        co_await m.mem().Write(core, addr);
+        break;
+      case 2:
+        co_await m.mem().ReadPrefetched(core, addr);
+        break;
+      default:
+        co_await m.mem().WritePosted(core, addr);
+        break;
+    }
+    if (rng.Chance(0.2)) {
+      co_await m.exec().Delay(rng.Below(500));
+    }
+  }
+}
+
+class CoherenceFuzz : public ::testing::TestWithParam<FuzzConfig> {};
+
+TEST_P(CoherenceFuzz, InvariantsHoldUnderRandomTraffic) {
+  const FuzzConfig& cfg = GetParam();
+  sim::Executor exec;
+  Machine m(exec, SpecByName(cfg.platform));
+  Addr base = m.mem().AllocLines(0, static_cast<std::uint64_t>(cfg.lines));
+  for (int c = 0; c < m.num_cores(); ++c) {
+    exec.Spawn(FuzzWorker(m, c, base, cfg.lines, cfg.ops_per_core, cfg.seed));
+  }
+  exec.Run();
+
+  std::uint64_t all_cores_mask =
+      m.num_cores() == 64 ? ~0ULL : ((1ULL << m.num_cores()) - 1);
+  for (int l = 0; l < cfg.lines; ++l) {
+    Addr addr = base + static_cast<Addr>(l) * sim::kCacheLineBytes;
+    std::uint64_t sharers = m.mem().SharersOf(addr);
+    int owner = m.mem().OwnerOf(addr);
+    // Invariant 1: sharers is a subset of existing cores.
+    EXPECT_EQ(sharers & ~all_cores_mask, 0u);
+    // Invariant 2: if a core owns the line (modified), it holds a copy...
+    if (owner >= 0) {
+      EXPECT_NE(sharers & (1ULL << owner), 0u) << "owner without a copy, line " << l;
+      // ...and after the last access was a write, it is the only holder or
+      // the line has since been read (owner + readers = MOESI owned state):
+      // either way the owner must be a member. Stronger: no second *owner*.
+      EXPECT_LT(owner, m.num_cores());
+    }
+    // Invariant 3: a line someone wrote has an owner or was never written;
+    // HasLine agrees with the sharers bitmap.
+    for (int c = 0; c < m.num_cores(); ++c) {
+      EXPECT_EQ(m.mem().HasLine(c, addr), (sharers >> c) & 1);
+    }
+  }
+  // Counters are self-consistent: every load/store is a hit or a miss.
+  auto total = m.counters().Total();
+  EXPECT_EQ(total.loads + total.stores, total.cache_hits + total.cache_misses);
+  EXPECT_EQ(total.cache_misses, total.c2c_transfers + total.dram_fetches +
+                                    (total.cache_misses - total.c2c_transfers -
+                                     total.dram_fetches));
+  EXPECT_LE(total.c2c_transfers + total.dram_fetches, total.cache_misses);
+}
+
+TEST_P(CoherenceFuzz, DeterministicReplay) {
+  const FuzzConfig& cfg = GetParam();
+  auto run = [&cfg] {
+    sim::Executor exec;
+    Machine m(exec, SpecByName(cfg.platform));
+    Addr base = m.mem().AllocLines(0, static_cast<std::uint64_t>(cfg.lines));
+    for (int c = 0; c < m.num_cores(); ++c) {
+      exec.Spawn(FuzzWorker(m, c, base, cfg.lines, cfg.ops_per_core, cfg.seed));
+    }
+    Cycles end = exec.Run();
+    auto total = m.counters().Total();
+    return std::make_tuple(end, total.cache_misses, total.c2c_transfers,
+                           m.counters().link_dwords(0, 1));
+  };
+  EXPECT_EQ(run(), run()) << "simulation is not deterministic";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Platforms, CoherenceFuzz,
+    ::testing::Values(FuzzConfig{"2x4-core Intel", 1, 8, 150},
+                      FuzzConfig{"2x2-core AMD", 2, 4, 200},
+                      FuzzConfig{"4x4-core AMD", 3, 16, 120},
+                      FuzzConfig{"8x4-core AMD", 4, 32, 80},
+                      FuzzConfig{"8x4-core AMD", 5, 1, 120},   // single hot line
+                      FuzzConfig{"4x4-core AMD", 6, 256, 60}), // sparse
+    [](const ::testing::TestParamInfo<FuzzConfig>& info) {
+      std::string name = info.param.platform;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) {
+          ch = '_';
+        }
+      }
+      return name + "_seed" + std::to_string(info.param.seed);
+    });
+
+TEST(CoherenceProperty, ReadAfterRemoteWriteAlwaysMisses) {
+  // For any pair of cores (a != b): after b writes, a's next read misses.
+  sim::Executor exec;
+  Machine m(exec, Amd4x4());
+  Addr addr = m.mem().AllocLines(2, 1);
+  exec.Spawn([](Machine& mm, Addr a) -> Task<> {
+    for (int writer = 0; writer < mm.num_cores(); ++writer) {
+      for (int reader = 0; reader < mm.num_cores(); ++reader) {
+        if (writer == reader) {
+          continue;
+        }
+        co_await mm.mem().Write(writer, a);
+        auto before = mm.counters().core(reader).cache_misses;
+        co_await mm.mem().Read(reader, a);
+        EXPECT_EQ(mm.counters().core(reader).cache_misses, before + 1)
+            << "writer " << writer << " reader " << reader;
+      }
+    }
+  }(m, addr));
+  exec.Run();
+}
+
+TEST(CoherenceProperty, RepeatedLocalAccessAlwaysHits) {
+  sim::Executor exec;
+  Machine m(exec, Amd8x4());
+  Addr addr = m.mem().AllocLines(0, 4);
+  exec.Spawn([](Machine& mm, Addr a) -> Task<> {
+    co_await mm.mem().Write(7, a, 4 * sim::kCacheLineBytes);
+    auto misses_before = mm.counters().core(7).cache_misses;
+    for (int i = 0; i < 50; ++i) {
+      co_await mm.mem().Read(7, a, 4 * sim::kCacheLineBytes);
+      co_await mm.mem().Write(7, a, 4 * sim::kCacheLineBytes);
+    }
+    EXPECT_EQ(mm.counters().core(7).cache_misses, misses_before);
+  }(m, addr));
+  exec.Run();
+}
+
+TEST(CoherenceProperty, TrafficOnlyOnUsedPaths) {
+  // Traffic between two packages never touches links not on a shortest path.
+  sim::Executor exec;
+  Machine m(exec, Amd8x4());
+  Addr addr = m.mem().AllocLines(0, 1);
+  exec.Spawn([](Machine& mm, Addr a) -> Task<> {
+    co_await mm.mem().Write(0, a);   // package 0
+    co_await mm.mem().Read(4, a);    // package 1 (adjacent)
+  }(m, addr));
+  exec.Run();
+  // The far corner pair (6 <-> 7) is not on any probe path that both starts
+  // and ends at packages 0/1... probes broadcast, so instead assert that the
+  // direct 0<->1 link carries the data payload.
+  EXPECT_GE(m.counters().link_dwords(0, 1), std::uint64_t{Amd8x4().cost.data_dwords});
+}
+
+}  // namespace
+}  // namespace mk::hw

@@ -1,0 +1,117 @@
+// Tests for the SKB's Datalog-lite evaluator.
+#include <gtest/gtest.h>
+
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "sim/executor.h"
+#include "skb/datalog.h"
+#include "skb/skb.h"
+
+namespace mk::skb {
+namespace {
+
+TEST(DatalogParse, AcceptsRulesAndRejectsGarbage) {
+  EXPECT_TRUE(Datalog::Parse("connected(X, Y) :- link(X, Y).").has_value());
+  EXPECT_TRUE(Datalog::Parse("p(X) :- q(X, 3), r(3, X).").has_value());
+  EXPECT_TRUE(Datalog::Parse("p(X,Z):-q(X,Y),q(Y,Z)").has_value());
+  EXPECT_FALSE(Datalog::Parse("p(X)").has_value());            // no body
+  EXPECT_FALSE(Datalog::Parse("p(X) :- ").has_value());        // empty body
+  EXPECT_FALSE(Datalog::Parse(":- q(X)").has_value());         // no head
+  EXPECT_FALSE(Datalog::Parse("p(X) :- q(X) extra").has_value());
+}
+
+TEST(Datalog, DerivesSymmetricClosure) {
+  FactStore facts;
+  facts.Assert("link", {0, 1});
+  facts.Assert("link", {1, 3});
+  Datalog dl(facts);
+  ASSERT_TRUE(dl.AddRuleText("connected(X, Y) :- link(X, Y)."));
+  ASSERT_TRUE(dl.AddRuleText("connected(X, Y) :- link(Y, X)."));
+  std::size_t added = dl.Evaluate();
+  EXPECT_EQ(added, 4u);
+  EXPECT_EQ(facts.Query("connected", {1, 0}).size(), 1u);
+  EXPECT_EQ(facts.Query("connected", {3, 1}).size(), 1u);
+}
+
+TEST(Datalog, TransitiveClosureReachesFixpoint) {
+  FactStore facts;
+  // A chain 0 -> 1 -> 2 -> 3.
+  facts.Assert("link", {0, 1});
+  facts.Assert("link", {1, 2});
+  facts.Assert("link", {2, 3});
+  Datalog dl(facts);
+  ASSERT_TRUE(dl.AddRuleText("reachable(X, Y) :- link(X, Y)."));
+  ASSERT_TRUE(dl.AddRuleText("reachable(X, Z) :- reachable(X, Y), link(Y, Z)."));
+  dl.Evaluate();
+  EXPECT_EQ(facts.All("reachable").size(), 6u);  // all ordered pairs i<j
+  EXPECT_EQ(facts.Query("reachable", {0, 3}).size(), 1u);
+  EXPECT_TRUE(facts.Query("reachable", {3, 0}).empty());
+  // Re-evaluation is idempotent.
+  EXPECT_EQ(dl.Evaluate(), 0u);
+}
+
+TEST(Datalog, ConstantsInBodyFilter) {
+  FactStore facts;
+  facts.Assert("core", {0, 0});
+  facts.Assert("core", {1, 0});
+  facts.Assert("core", {4, 1});
+  Datalog dl(facts);
+  ASSERT_TRUE(dl.AddRuleText("pkg0_core(X) :- core(X, 0)."));
+  dl.Evaluate();
+  EXPECT_EQ(facts.All("pkg0_core").size(), 2u);
+}
+
+TEST(Datalog, UnsafeRuleDerivesNothing) {
+  FactStore facts;
+  facts.Assert("q", {1});
+  Datalog dl(facts);
+  ASSERT_TRUE(dl.AddRuleText("p(X, Y) :- q(X)."));  // Y unbound
+  EXPECT_EQ(dl.Evaluate(), 0u);
+}
+
+TEST(Datalog, JoinsAcrossRelations) {
+  FactStore facts;
+  facts.Assert("core", {0, 0});
+  facts.Assert("core", {4, 1});
+  facts.Assert("core", {8, 2});
+  facts.Assert("link", {0, 1});
+  facts.Assert("link", {1, 2});
+  Datalog dl(facts);
+  // Cores whose packages are directly linked.
+  ASSERT_TRUE(dl.AddRuleText(
+      "neighbor_core(A, B) :- core(A, P), core(B, Q), link(P, Q)."));
+  dl.Evaluate();
+  auto rows = facts.All("neighbor_core");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(facts.Query("neighbor_core", {0, 4}).size(), 1u);
+  EXPECT_EQ(facts.Query("neighbor_core", {4, 8}).size(), 1u);
+}
+
+TEST(Datalog, FullMachineConnectivity) {
+  // On every paper platform: the interconnect facts are strongly connected
+  // under the symmetric reachability rules.
+  for (const auto& spec : hw::PaperPlatforms()) {
+    sim::Executor exec;
+    hw::Machine machine(exec, spec);
+    Skb skb(machine);
+    skb.PopulateFromHardware();
+    Datalog dl(skb.facts());
+    ASSERT_TRUE(dl.AddRuleText("conn(X, Y) :- link(X, Y)."));
+    ASSERT_TRUE(dl.AddRuleText("conn(X, Y) :- link(Y, X)."));
+    ASSERT_TRUE(dl.AddRuleText("reach(X, Y) :- conn(X, Y)."));
+    ASSERT_TRUE(dl.AddRuleText("reach(X, Z) :- reach(X, Y), conn(Y, Z)."));
+    dl.Evaluate();
+    int pkgs = machine.topo().num_packages();
+    for (int a = 0; a < pkgs; ++a) {
+      for (int b = 0; b < pkgs; ++b) {
+        if (a != b) {
+          EXPECT_EQ(skb.facts().Query("reach", {a, b}).size(), 1u)
+              << spec.name << " " << a << "->" << b;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mk::skb

@@ -1,0 +1,123 @@
+// Tests for the mini relational database and the HTTP server.
+#include <gtest/gtest.h>
+
+#include "apps/db.h"
+#include "apps/httpd.h"
+
+namespace mk::apps {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  EXPECT_FALSE(db.Exec("CREATE TABLE items (i_id INT, i_title TEXT, i_cost INT)"));
+  EXPECT_FALSE(db.Exec("INSERT INTO items VALUES (1, 'alpha', 500)"));
+  EXPECT_FALSE(db.Exec("INSERT INTO items VALUES (2, 'beta', 300)"));
+  EXPECT_FALSE(db.Exec("INSERT INTO items VALUES (3, 'gamma', 700)"));
+  EXPECT_FALSE(db.Exec("INSERT INTO items VALUES (4, 'delta', 300)"));
+  return db;
+}
+
+Database::ResultSet MustQuery(const Database& db, const std::string& sql) {
+  auto result = db.Query(sql);
+  EXPECT_TRUE(std::holds_alternative<Database::ResultSet>(result))
+      << sql << ": " << std::get<DbError>(result).message;
+  return std::get<Database::ResultSet>(result);
+}
+
+TEST(Db, SelectStarReturnsAllRowsAndColumns) {
+  Database db = MakeDb();
+  auto rs = MustQuery(db, "SELECT * FROM items");
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"I_ID", "I_TITLE", "I_COST"}));
+  EXPECT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(rs.rows_scanned, 4u);
+}
+
+TEST(Db, WhereFiltersEveryOperator) {
+  Database db = MakeDb();
+  EXPECT_EQ(MustQuery(db, "SELECT i_id FROM items WHERE i_cost = 300").rows.size(), 2u);
+  EXPECT_EQ(MustQuery(db, "SELECT i_id FROM items WHERE i_cost != 300").rows.size(), 2u);
+  EXPECT_EQ(MustQuery(db, "SELECT i_id FROM items WHERE i_cost < 500").rows.size(), 2u);
+  EXPECT_EQ(MustQuery(db, "SELECT i_id FROM items WHERE i_cost <= 500").rows.size(), 3u);
+  EXPECT_EQ(MustQuery(db, "SELECT i_id FROM items WHERE i_cost > 500").rows.size(), 1u);
+  EXPECT_EQ(MustQuery(db, "SELECT i_id FROM items WHERE i_cost >= 500").rows.size(), 2u);
+}
+
+TEST(Db, WhereOnTextColumn) {
+  Database db = MakeDb();
+  auto rs = MustQuery(db, "SELECT i_id FROM items WHERE i_title = 'beta'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 2);
+}
+
+TEST(Db, OrderByAndLimit) {
+  Database db = MakeDb();
+  auto rs = MustQuery(db, "SELECT i_title FROM items ORDER BY i_cost DESC LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(rs.rows[0][0]), "gamma");
+  EXPECT_EQ(std::get<std::string>(rs.rows[1][0]), "alpha");
+  // Ascending with ties: stable order by insertion.
+  auto asc = MustQuery(db, "SELECT i_id FROM items ORDER BY i_cost LIMIT 3");
+  EXPECT_EQ(std::get<std::int64_t>(asc.rows[0][0]), 2);
+  EXPECT_EQ(std::get<std::int64_t>(asc.rows[1][0]), 4);
+}
+
+TEST(Db, ErrorsAreReported) {
+  Database db = MakeDb();
+  EXPECT_TRUE(std::holds_alternative<DbError>(db.Query("SELECT * FROM nope")));
+  EXPECT_TRUE(std::holds_alternative<DbError>(db.Query("SELECT bogus FROM items")));
+  EXPECT_TRUE(std::holds_alternative<DbError>(db.Query("DROP TABLE items")));
+  EXPECT_TRUE(db.Exec("INSERT INTO items VALUES (1, 2)").has_value());    // arity
+  EXPECT_TRUE(db.Exec("INSERT INTO items VALUES ('x', 'y', 'z')").has_value());  // types
+  EXPECT_TRUE(db.Exec("CREATE TABLE items (a INT)").has_value());  // duplicate
+}
+
+TEST(Db, QuotedStringsWithSpacesAndEscapes) {
+  Database db;
+  ASSERT_FALSE(db.Exec("CREATE TABLE t (s TEXT)"));
+  ASSERT_FALSE(db.Exec("INSERT INTO t VALUES ('it''s a test value')"));
+  auto rs = MustQuery(db, "SELECT s FROM t");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(rs.rows[0][0]), "it's a test value");
+}
+
+TEST(Db, TpcwPopulationAndQuery) {
+  Database db;
+  PopulateTpcw(&db, 100);
+  EXPECT_EQ(db.TableRows("ITEMS"), 100u);
+  EXPECT_TRUE(db.HasTable("AUTHORS"));
+  auto rs = MustQuery(db, TpcwQuery(42));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 42);
+  EXPECT_EQ(rs.rows_scanned, 100u);  // full scan: the cost basis
+}
+
+TEST(Http, ParsesRequestLine) {
+  HttpRequest req;
+  EXPECT_TRUE(ParseHttpRequest("GET /index.html HTTP/1.0\r\n\r\n", &req));
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/index.html");
+  EXPECT_TRUE(req.query.empty());
+  EXPECT_TRUE(ParseHttpRequest("GET /query?sql=SELECT HTTP/1.0\r\n", &req));
+  EXPECT_EQ(req.path, "/query");
+  EXPECT_EQ(req.query, "sql=SELECT");
+  EXPECT_FALSE(ParseHttpRequest("POST / HTTP/1.0\r\n", &req));
+  EXPECT_FALSE(ParseHttpRequest("garbage", &req));
+}
+
+TEST(Http, ResponseRendering) {
+  HttpResponse resp;
+  resp.body = "hello";
+  std::string text = RenderHttpResponse(resp);
+  EXPECT_NE(text.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(text.find("Content-Length: 5"), std::string::npos);
+  EXPECT_EQ(text.substr(text.size() - 5), "hello");
+}
+
+TEST(Http, StaticPageIsAboutFourKib) {
+  std::string page = StaticIndexPage();
+  EXPECT_GE(page.size(), 4000u);
+  EXPECT_LE(page.size(), 4500u);
+}
+
+}  // namespace
+}  // namespace mk::apps

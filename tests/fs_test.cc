@@ -1,0 +1,208 @@
+// Tests for the replicated in-memory file system.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/ramfs.h"
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "kernel/cpu_driver.h"
+#include "monitor/monitor.h"
+#include "sim/executor.h"
+#include "sim/random.h"
+#include "skb/skb.h"
+
+namespace mk::fs {
+namespace {
+
+using kernel::CpuDriver;
+using sim::Cycles;
+using sim::Task;
+
+struct Fixture {
+  explicit Fixture(hw::PlatformSpec spec = hw::Amd4x4())
+      : machine(exec, std::move(spec)),
+        drivers(CpuDriver::BootAll(machine)),
+        skb(machine),
+        sys(machine, skb, drivers),
+        fs(sys) {
+    skb.PopulateFromHardware();
+    sys.Boot();
+  }
+  sim::Executor exec;
+  hw::Machine machine;
+  std::vector<std::unique_ptr<CpuDriver>> drivers;
+  skb::Skb skb;
+  monitor::MonitorSystem sys;
+  ReplicatedFs fs;
+};
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(Fs, CreateWriteReadRoundTrip) {
+  Fixture f;
+  f.exec.Spawn([](Fixture& fx) -> Task<> {
+    EXPECT_EQ(co_await fx.fs.Create(3, "/etc/motd"), FsErr::kOk);
+    EXPECT_EQ(co_await fx.fs.Write(3, "/etc/motd", Bytes("hello")), FsErr::kOk);
+    // Read from a *different* core: served by its local replica.
+    auto data = co_await fx.fs.Read(11, "/etc/motd");
+    EXPECT_TRUE(data.has_value());
+    EXPECT_EQ(std::string(data->begin(), data->end()), "hello");
+    fx.sys.Shutdown();
+  }(f));
+  f.exec.Run();
+  EXPECT_TRUE(f.fs.ReplicasConsistent());
+}
+
+TEST(Fs, ErrorsSurfaceConsistently) {
+  Fixture f;
+  f.exec.Spawn([](Fixture& fx) -> Task<> {
+    EXPECT_EQ(co_await fx.fs.Write(0, "/none", Bytes("x")), FsErr::kNotFound);
+    EXPECT_EQ(co_await fx.fs.Create(0, "relative/path"), FsErr::kBadPath);
+    EXPECT_EQ(co_await fx.fs.Create(0, "/a"), FsErr::kOk);
+    EXPECT_EQ(co_await fx.fs.Create(1, "/a"), FsErr::kExists);
+    EXPECT_EQ(co_await fx.fs.Remove(2, "/a"), FsErr::kOk);
+    EXPECT_EQ(co_await fx.fs.Remove(2, "/a"), FsErr::kNotFound);
+    fx.sys.Shutdown();
+  }(f));
+  f.exec.Run();
+  EXPECT_TRUE(f.fs.ReplicasConsistent());
+}
+
+TEST(Fs, AppendAndList) {
+  Fixture f;
+  f.exec.Spawn([](Fixture& fx) -> Task<> {
+    (void)co_await fx.fs.Create(0, "/log/a");
+    (void)co_await fx.fs.Create(5, "/log/b");
+    (void)co_await fx.fs.Create(9, "/data/c");
+    EXPECT_EQ(co_await fx.fs.Append(2, "/log/a", Bytes("one ")), FsErr::kOk);
+    EXPECT_EQ(co_await fx.fs.Append(7, "/log/a", Bytes("two")), FsErr::kOk);
+    auto data = co_await fx.fs.Read(15, "/log/a");
+    EXPECT_EQ(std::string(data->begin(), data->end()), "one two");
+    auto logs = co_await fx.fs.List(4, "/log/");
+    EXPECT_EQ(logs.size(), 2u);
+    fx.sys.Shutdown();
+  }(f));
+  f.exec.Run();
+  EXPECT_TRUE(f.fs.ReplicasConsistent());
+}
+
+TEST(Fs, ConcurrentWritersOnSameFileStayConsistent) {
+  // The per-file sequencer orders conflicting appends; every replica must end
+  // with the same byte sequence regardless of which cores issued them.
+  Fixture f;
+  int done = 0;
+  f.exec.Spawn([](Fixture& fx, int& d) -> Task<> {
+    (void)co_await fx.fs.Create(0, "/shared");
+    ++d;
+  }(f, done));
+  f.exec.Run();
+  for (int c = 0; c < 8; ++c) {
+    f.exec.Spawn([](Fixture& fx, int core, int& d) -> Task<> {
+      for (int i = 0; i < 3; ++i) {
+        (void)co_await fx.fs.Append(core, "/shared",
+                                    Bytes(std::to_string(core) + "."));
+      }
+      if (++d == 9) {
+        fx.sys.Shutdown();
+      }
+    }(f, c, done));
+  }
+  f.exec.Run();
+  EXPECT_TRUE(f.fs.ReplicasConsistent());
+  EXPECT_EQ(f.fs.mutations(), 25u);  // 1 create + 24 appends
+}
+
+TEST(Fs, RandomizedOpsAgainstReferenceModel) {
+  Fixture f;
+  f.exec.Spawn([](Fixture& fx) -> Task<> {
+    sim::Rng rng(2026);
+    std::map<std::string, std::string> reference;
+    const std::vector<std::string> paths = {"/a", "/b", "/c", "/d"};
+    for (int step = 0; step < 120; ++step) {
+      const std::string& path = paths[rng.Below(paths.size())];
+      int core = static_cast<int>(rng.Below(16));
+      switch (rng.Below(4)) {
+        case 0: {
+          FsErr err = co_await fx.fs.Create(core, path);
+          FsErr want = reference.count(path) ? FsErr::kExists : FsErr::kOk;
+          EXPECT_EQ(err, want) << path;
+          reference.try_emplace(path, "");
+          break;
+        }
+        case 1: {
+          std::string payload = "v" + std::to_string(step);
+          FsErr err = co_await fx.fs.Write(core, path, Bytes(payload));
+          if (reference.count(path)) {
+            EXPECT_EQ(err, FsErr::kOk);
+            reference[path] = payload;
+          } else {
+            EXPECT_EQ(err, FsErr::kNotFound);
+          }
+          break;
+        }
+        case 2: {
+          FsErr err = co_await fx.fs.Remove(core, path);
+          EXPECT_EQ(err, reference.erase(path) ? FsErr::kOk : FsErr::kNotFound);
+          break;
+        }
+        default: {
+          auto data = co_await fx.fs.Read(core, path);
+          if (reference.count(path)) {
+            EXPECT_TRUE(data.has_value());
+            EXPECT_EQ(std::string(data->begin(), data->end()), reference[path]);
+          } else {
+            EXPECT_FALSE(data.has_value());
+          }
+          break;
+        }
+      }
+    }
+    fx.sys.Shutdown();
+  }(f));
+  f.exec.Run();
+  EXPECT_TRUE(f.fs.ReplicasConsistent());
+}
+
+TEST(Fs, HotplugReplicaSyncRestoresConsistency) {
+  Fixture f;
+  f.exec.Spawn([](Fixture& fx) -> Task<> {
+    (void)co_await fx.fs.Create(0, "/state");
+    (void)co_await fx.sys.OfflineCore(0, 10);
+    (void)co_await fx.fs.Write(0, "/state", Bytes("v2"));
+    (void)co_await fx.sys.OnlineCore(0, 10);
+    EXPECT_FALSE(fx.fs.ReplicasConsistent());  // core 10 missed the write
+    co_await fx.fs.SyncReplica(0, 10);
+    EXPECT_TRUE(fx.fs.ReplicasConsistent());
+    auto data = co_await fx.fs.Read(10, "/state");
+    EXPECT_TRUE(data.has_value());
+    EXPECT_EQ(std::string(data->begin(), data->end()), "v2");
+    fx.sys.Shutdown();
+  }(f));
+  f.exec.Run();
+}
+
+TEST(Fs, LocalReadCheaperThanMutation) {
+  Fixture f;
+  Cycles read_cost = 0;
+  Cycles write_cost = 0;
+  f.exec.Spawn([](Fixture& fx, Cycles& rc, Cycles& wc) -> Task<> {
+    (void)co_await fx.fs.Create(0, "/f");
+    Cycles t0 = fx.exec.now();
+    (void)co_await fx.fs.Write(6, "/f", Bytes("data"));
+    wc = fx.exec.now() - t0;
+    t0 = fx.exec.now();
+    (void)co_await fx.fs.Read(6, "/f");
+    rc = fx.exec.now() - t0;
+    fx.sys.Shutdown();
+  }(f, read_cost, write_cost));
+  f.exec.Run();
+  EXPECT_LT(read_cost * 10, write_cost);  // reads are replica-local
+}
+
+}  // namespace
+}  // namespace mk::fs

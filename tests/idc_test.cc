@@ -1,0 +1,183 @@
+// Tests for the IDC framework: name service, typed service stubs, channel
+// setup, and pipelined calls.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "idc/name_service.h"
+#include "idc/service.h"
+#include "sim/executor.h"
+
+namespace mk::idc {
+namespace {
+
+using sim::Cycles;
+using sim::Task;
+
+struct Fixture {
+  Fixture() : machine(exec, hw::Amd4x4()), names(machine, 0) {}
+  sim::Executor exec;
+  hw::Machine machine;
+  NameService names;
+};
+
+TEST(NameService, RegisterLookupUnregister) {
+  Fixture f;
+  f.exec.Spawn([](Fixture& fx) -> Task<> {
+    std::map<std::string, std::string> props = {{"class", "bus"}};
+    ServiceRef ref = co_await fx.names.Register(5, "pci", std::move(props));
+    EXPECT_EQ(ref.core, 5);
+    EXPECT_GT(ref.id, 0u);
+
+    auto found = co_await fx.names.Lookup(9, "pci");
+    EXPECT_TRUE(found.has_value());
+    EXPECT_EQ(found->core, 5);
+
+    auto missing = co_await fx.names.Lookup(9, "nope");
+    EXPECT_FALSE(missing.has_value());
+
+    EXPECT_TRUE(co_await fx.names.Unregister(5, ref.id));
+    EXPECT_FALSE(co_await fx.names.Unregister(5, ref.id));
+    EXPECT_FALSE((co_await fx.names.Lookup(9, "pci")).has_value());
+  }(f));
+  f.exec.Run();
+}
+
+TEST(NameService, PropertyQuery) {
+  Fixture f;
+  f.exec.Spawn([](Fixture& fx) -> Task<> {
+    std::map<std::string, std::string> p1 = {{"class", "nic"}, {"bus", "pci"}};
+    std::map<std::string, std::string> p2 = {{"class", "nic"}};
+    std::map<std::string, std::string> p3 = {{"class", "disk"}};
+    (void)co_await fx.names.Register(1, "e1000", std::move(p1));
+    (void)co_await fx.names.Register(2, "e1000e", std::move(p2));
+    (void)co_await fx.names.Register(3, "ahci", std::move(p3));
+    auto nics = co_await fx.names.Query(0, "class", "nic");
+    EXPECT_EQ(nics.size(), 2u);
+    auto disks = co_await fx.names.Query(0, "class", "disk");
+    EXPECT_EQ(disks.size(), 1u);
+    if (!disks.empty()) {
+      EXPECT_EQ(disks[0].core, 3);
+    }
+  }(f));
+  f.exec.Run();
+}
+
+TEST(NameService, RemoteLookupCostsMoreThanLocal) {
+  Fixture f;
+  Cycles local = 0;
+  Cycles remote = 0;
+  f.exec.Spawn([](Fixture& fx, Cycles& l, Cycles& r) -> Task<> {
+    (void)co_await fx.names.Register(0, "svc");
+    Cycles t0 = fx.exec.now();
+    (void)co_await fx.names.Lookup(0, "svc");  // registry core itself
+    l = fx.exec.now() - t0;
+    t0 = fx.exec.now();
+    (void)co_await fx.names.Lookup(12, "svc");  // two hops away
+    r = fx.exec.now() - t0;
+  }(f, local, remote));
+  f.exec.Run();
+  EXPECT_LT(local, remote);
+}
+
+struct SquareReq {
+  std::int64_t value;
+};
+struct SquareResp {
+  std::int64_t value;
+};
+
+TEST(Service, TypedCallRoundTrip) {
+  Fixture f;
+  Service<SquareReq, SquareResp> svc(f.machine, f.names, 4, "square",
+                                     [](const SquareReq& req) -> Task<SquareResp> {
+                                       co_return SquareResp{req.value * req.value};
+                                     });
+  f.exec.Spawn([](Fixture& fx, Service<SquareReq, SquareResp>& s) -> Task<> {
+    co_await s.Export();
+    auto client = co_await ServiceClient<SquareReq, SquareResp>::Connect(
+        fx.machine, fx.names, s, 9);
+    EXPECT_NE(client, nullptr);
+    if (client == nullptr) {
+      s.Stop();
+      co_return;
+    }
+    for (std::int64_t v : {2, 7, -3}) {
+      SquareResp resp = co_await client->Call(SquareReq{v});
+      EXPECT_EQ(resp.value, v * v);
+    }
+    s.Stop();
+  }(f, svc));
+  f.exec.Spawn(svc.Serve());
+  f.exec.Run();
+  EXPECT_EQ(svc.calls(), 3u);
+  EXPECT_EQ(svc.bindings(), 1u);
+}
+
+TEST(Service, MultipleClientsGetIndependentBindings) {
+  Fixture f;
+  Service<SquareReq, SquareResp> svc(f.machine, f.names, 0, "square",
+                                     [](const SquareReq& req) -> Task<SquareResp> {
+                                       co_return SquareResp{req.value + 1};
+                                     });
+  int done = 0;
+  f.exec.Spawn([](Fixture& fx, Service<SquareReq, SquareResp>& s, int& d) -> Task<> {
+    co_await s.Export();
+    for (int core : {4, 8, 12}) {
+      auto client = co_await ServiceClient<SquareReq, SquareResp>::Connect(
+          fx.machine, fx.names, s, core);
+      SquareResp resp = co_await client->Call(SquareReq{core});
+      EXPECT_EQ(resp.value, core + 1);
+      ++d;
+    }
+    s.Stop();
+  }(f, svc, done));
+  f.exec.Spawn(svc.Serve());
+  f.exec.Run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(svc.bindings(), 3u);
+}
+
+TEST(Service, PipelinedCallsBeatSequentialThroughput) {
+  auto run = [](bool pipelined) {
+    Fixture f;
+    Service<SquareReq, SquareResp> svc(f.machine, f.names, 4, "sq",
+                                       [](const SquareReq& req) -> Task<SquareResp> {
+                                         co_return SquareResp{req.value};
+                                       });
+    f.exec.Spawn([](Fixture& fx, Service<SquareReq, SquareResp>& s, bool pipe) -> Task<> {
+      co_await s.Export();
+      auto client = co_await ServiceClient<SquareReq, SquareResp>::Connect(
+          fx.machine, fx.names, s, 9);
+      const int kCalls = 64;
+      if (pipe) {
+        int sent = 0;
+        int received = 0;
+        while (received < kCalls) {
+          while (sent < kCalls && sent - received < 6) {
+            co_await client->CallAsync(SquareReq{sent});
+            ++sent;
+          }
+          (void)co_await client->Collect();
+          ++received;
+        }
+      } else {
+        for (int i = 0; i < kCalls; ++i) {
+          (void)co_await client->Call(SquareReq{i});
+        }
+      }
+      s.Stop();
+    }(f, svc, pipelined));
+    f.exec.Spawn(svc.Serve());
+    return f.exec.Run();
+  };
+  // Split-phase pipelining amortizes the round trips (section 2.4 / 5.2).
+  EXPECT_LT(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace mk::idc

@@ -1,0 +1,214 @@
+// Tests for the threads package: barriers, mutexes, thread teams, migration.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "proc/openmp.h"
+#include "proc/threads.h"
+#include "sim/executor.h"
+
+namespace mk::proc {
+namespace {
+
+using sim::Cycles;
+using sim::Task;
+
+struct Fixture {
+  Fixture() : machine(exec, hw::Amd4x4()) {}
+  sim::Executor exec;
+  hw::Machine machine;
+};
+
+std::vector<int> FirstCores(int n) {
+  std::vector<int> cores;
+  for (int i = 0; i < n; ++i) {
+    cores.push_back(i);
+  }
+  return cores;
+}
+
+Task<> BarrierWorker(hw::Machine& m, Barrier& barrier, int core, Cycles spin,
+                     std::vector<int>& order, int id) {
+  co_await m.exec().Delay(spin);
+  co_await barrier.Arrive(core);
+  order.push_back(id);
+}
+
+TEST(Barrier, NobodyPassesUntilAllArrive) {
+  Fixture f;
+  Barrier barrier(f.machine, 3, SyncFlavor::kUserSpace);
+  std::vector<int> order;
+  f.exec.Spawn(BarrierWorker(f.machine, barrier, 0, 100, order, 0));
+  f.exec.Spawn(BarrierWorker(f.machine, barrier, 1, 5000, order, 1));
+  f.exec.Spawn(BarrierWorker(f.machine, barrier, 2, 90000, order, 2));
+  f.exec.RunUntil(80000);
+  EXPECT_TRUE(order.empty());  // two waiting on the third
+  f.exec.Run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Barrier, ReusableAcrossGenerations) {
+  Fixture f;
+  Barrier barrier(f.machine, 2, SyncFlavor::kUserSpace);
+  int rounds_done = 0;
+  for (int core : {0, 1}) {
+    f.exec.Spawn([](hw::Machine& m, Barrier& b, int c, int& done) -> Task<> {
+      for (int round = 0; round < 5; ++round) {
+        co_await m.exec().Delay(static_cast<Cycles>(c) * 50 + 10);
+        co_await b.Arrive(c);
+      }
+      ++done;
+    }(f.machine, barrier, core, rounds_done));
+  }
+  f.exec.Run();
+  EXPECT_EQ(rounds_done, 2);
+}
+
+TEST(Barrier, KernelFlavorCostsMoreThanUserSpace) {
+  auto measure = [](SyncFlavor flavor) {
+    Fixture f;
+    Barrier barrier(f.machine, 8, flavor);
+    for (int c = 0; c < 8; ++c) {
+      f.exec.Spawn([](Barrier& b, int core) -> Task<> { co_await b.Arrive(core); }(barrier, c));
+    }
+    return f.exec.Run();
+  };
+  EXPECT_LT(measure(SyncFlavor::kUserSpace), measure(SyncFlavor::kKernel));
+}
+
+TEST(Mutex, ProvidesMutualExclusion) {
+  Fixture f;
+  Mutex mutex(f.machine, SyncFlavor::kUserSpace);
+  int in_critical = 0;
+  int max_in_critical = 0;
+  int total = 0;
+  for (int c = 0; c < 8; ++c) {
+    f.exec.Spawn([](hw::Machine& m, Mutex& mu, int core, int& in, int& peak,
+                    int& count) -> Task<> {
+      for (int i = 0; i < 5; ++i) {
+        co_await mu.Lock(core);
+        ++in;
+        peak = std::max(peak, in);
+        co_await m.exec().Delay(200);  // critical section
+        --in;
+        ++count;
+        co_await mu.Unlock(core);
+      }
+    }(f.machine, mutex, c, in_critical, max_in_critical, total));
+  }
+  f.exec.Run();
+  EXPECT_EQ(max_in_critical, 1);
+  EXPECT_EQ(total, 40);
+  EXPECT_FALSE(mutex.locked());
+}
+
+TEST(Mutex, KernelFlavorChargesSyscalls) {
+  auto traps = [](SyncFlavor flavor) {
+    Fixture f;
+    Mutex mutex(f.machine, flavor);
+    for (int c = 0; c < 4; ++c) {
+      f.exec.Spawn([](hw::Machine& m, Mutex& mu, int core) -> Task<> {
+        for (int i = 0; i < 3; ++i) {
+          co_await mu.Lock(core);
+          co_await m.exec().Delay(500);
+          co_await mu.Unlock(core);
+        }
+      }(f.machine, mutex, c));
+    }
+    Cycles end = f.exec.Run();
+    return end;
+  };
+  EXPECT_GT(traps(SyncFlavor::kKernel), traps(SyncFlavor::kUserSpace));
+}
+
+TEST(ThreadTeam, RunsBodyOnEveryCore) {
+  Fixture f;
+  ThreadTeam team(f.machine, FirstCores(6));
+  std::vector<int> seen_cores;
+  f.exec.Spawn([](ThreadTeam& t, std::vector<int>& seen) -> Task<> {
+    co_await t.Run([&seen](int tid, int core) -> Task<> {
+      EXPECT_EQ(tid, core);  // FirstCores maps tid == core
+      seen.push_back(core);
+      co_return;
+    });
+  }(team, seen_cores));
+  f.exec.Run();
+  EXPECT_EQ(seen_cores.size(), 6u);
+}
+
+TEST(ThreadTeam, JoinWaitsForSlowestWorker) {
+  Fixture f;
+  ThreadTeam team(f.machine, FirstCores(4));
+  Cycles joined_at = 0;
+  f.exec.Spawn([](hw::Machine& m, ThreadTeam& t, Cycles& out) -> Task<> {
+    co_await t.Run([&m](int tid, int) -> Task<> {
+      co_await m.exec().Delay(tid == 2 ? 50000 : 100);
+    });
+    out = m.exec().now();
+  }(f.machine, team, joined_at));
+  f.exec.Run();
+  EXPECT_GE(joined_at, 50000u);
+}
+
+TEST(Migrate, ChargesCrossCoreCost) {
+  Fixture f;
+  Cycles cost = 0;
+  f.exec.Spawn([](hw::Machine& m, Cycles& out) -> Task<> {
+    out = co_await MigrateThread(m, 0, 4);
+  }(f.machine, cost));
+  f.exec.Run();
+  EXPECT_GT(cost, f.machine.cost().dispatch);
+}
+
+TEST(Omp, ParallelForCoversRangeExactlyOnce) {
+  Fixture f;
+  OmpRuntime omp(f.machine, FirstCores(5), SyncFlavor::kUserSpace);
+  std::vector<int> hits(100, 0);
+  f.exec.Spawn([](OmpRuntime& o, std::vector<int>& h) -> Task<> {
+    co_await o.ParallelFor(100, [&h](int, int, std::int64_t b, std::int64_t e) -> Task<> {
+      for (std::int64_t i = b; i < e; ++i) {
+        ++h[static_cast<std::size_t>(i)];
+      }
+      co_return;
+    });
+  }(omp, hits));
+  f.exec.Run();
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(Omp, ChunksPartitionWithoutOverlap) {
+  Fixture f;
+  OmpRuntime omp(f.machine, FirstCores(7), SyncFlavor::kUserSpace);
+  std::int64_t covered = 0;
+  std::int64_t prev_end = 0;
+  for (int tid = 0; tid < 7; ++tid) {
+    auto r = omp.ChunkOf(103, tid);
+    EXPECT_EQ(r.begin, prev_end);
+    prev_end = r.end;
+    covered += r.end - r.begin;
+  }
+  EXPECT_EQ(covered, 103);
+  EXPECT_EQ(prev_end, 103);
+}
+
+TEST(Omp, ReductionContentionGrowsWithThreads) {
+  auto measure = [](int threads) {
+    Fixture f;
+    OmpRuntime omp(f.machine, FirstCores(threads), SyncFlavor::kUserSpace);
+    f.exec.Spawn([](OmpRuntime& o) -> Task<> {
+      co_await o.Parallel([&o](int, int core) -> Task<> {
+        co_await o.ReduceContribution(core);
+      });
+    }(omp));
+    return f.exec.Run();
+  };
+  // The shared reduction line serializes contributions.
+  EXPECT_GT(measure(16), measure(2));
+}
+
+}  // namespace
+}  // namespace mk::proc

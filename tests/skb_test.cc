@@ -1,0 +1,148 @@
+// Tests for the system knowledge base: fact store, discovery, measurement,
+// and route construction.
+#include <gtest/gtest.h>
+
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "sim/executor.h"
+#include "skb/skb.h"
+
+namespace mk::skb {
+namespace {
+
+using sim::Task;
+
+TEST(FactStore, AssertQueryRetract) {
+  FactStore fs;
+  fs.Assert("core", {0, 0});
+  fs.Assert("core", {1, 0});
+  fs.Assert("core", {4, 1});
+  EXPECT_EQ(fs.size(), 3u);
+  auto in_pkg0 = fs.Query("core", {FactStore::kWildcard, 0});
+  EXPECT_EQ(in_pkg0.size(), 2u);
+  auto exact = fs.Query("core", {4, 1});
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0][0], 4);
+  EXPECT_TRUE(fs.Query("nothing", {FactStore::kWildcard}).empty());
+  EXPECT_EQ(fs.Retract("core", {FactStore::kWildcard, 0}), 2u);
+  EXPECT_EQ(fs.size(), 1u);
+}
+
+TEST(FactStore, ArityMismatchNeverMatches) {
+  FactStore fs;
+  fs.Assert("link", {0, 1});
+  EXPECT_TRUE(fs.Query("link", {0}).empty());
+  EXPECT_TRUE(fs.Query("link", {0, 1, 2}).empty());
+}
+
+struct SkbFixture {
+  SkbFixture() : machine(exec, hw::Amd8x4()), skb(machine) {
+    skb.PopulateFromHardware();
+  }
+  sim::Executor exec;
+  hw::Machine machine;
+  Skb skb;
+};
+
+TEST(Skb, DiscoveryPopulatesTopologyFacts) {
+  SkbFixture f;
+  EXPECT_EQ(f.skb.facts().All("core").size(), 32u);
+  EXPECT_EQ(f.skb.facts().All("core_speed_milli").size(), 32u);
+  EXPECT_EQ(f.skb.facts().Query("core_speed_milli", {0, 1000}).size(), 1u);
+  EXPECT_EQ(f.skb.facts().All("package").size(), 8u);
+  EXPECT_FALSE(f.skb.facts().All("link").empty());
+  // shares_cache holds exactly for same-package pairs: 8 * C(4,2) = 48.
+  EXPECT_EQ(f.skb.facts().All("shares_cache").size(), 48u);
+}
+
+TEST(Skb, OnlineMeasurementAssertsLatencyFacts) {
+  SkbFixture f;
+  f.exec.Spawn(f.skb.MeasureUrpcLatencies());
+  f.exec.Run();
+  auto measured = f.skb.facts().All("urpc_latency");
+  // One per ordered package pair (56) + one shared pair per package (8).
+  EXPECT_EQ(measured.size(), 64u);
+  // A shared-cache pair must measure cheaper than a cross-package pair.
+  EXPECT_LT(f.skb.UrpcLatency(0, 1), f.skb.UrpcLatency(0, 4));
+  // The measured value is close to the paper's Table 2 (shared: 538).
+  EXPECT_NEAR(static_cast<double>(f.skb.UrpcLatency(0, 1)), 538.0, 538.0 * 0.15);
+}
+
+TEST(Skb, LatencyFallsBackToEstimateWithoutMeasurement) {
+  SkbFixture f;
+  // No measurement run: estimates from the cost book.
+  EXPECT_GT(f.skb.UrpcLatency(0, 4), 0u);
+  EXPECT_EQ(f.skb.UrpcLatency(3, 3), 0u);
+  EXPECT_LT(f.skb.UrpcLatency(0, 1), f.skb.UrpcLatency(0, 28));
+}
+
+TEST(Skb, MulticastRouteCoversAllCoresOncePerPackage) {
+  SkbFixture f;
+  MulticastRoute route = f.skb.BuildMulticastRoute(0, /*numa_aware=*/false);
+  EXPECT_EQ(route.nodes.size(), 8u);
+  std::vector<bool> seen(32, false);
+  for (const auto& node : route.nodes) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(node.leader)]);
+    seen[static_cast<std::size_t>(node.leader)] = true;
+    for (int m : node.members) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(m)]);
+      seen[static_cast<std::size_t>(m)] = true;
+      // Members share a package with their leader.
+      EXPECT_EQ(f.machine.topo().PackageOf(m), node.package);
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Skb, SourcePackageLeaderIsTheSourceItself) {
+  SkbFixture f;
+  MulticastRoute route = f.skb.BuildMulticastRoute(5, false);
+  bool found = false;
+  for (const auto& node : route.nodes) {
+    if (node.package == f.machine.topo().PackageOf(5)) {
+      EXPECT_EQ(node.leader, 5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Skb, NumaAwareRouteOrdersByDecreasingLatency) {
+  SkbFixture f;
+  f.exec.Spawn(f.skb.MeasureUrpcLatencies());
+  f.exec.Run();
+  MulticastRoute route = f.skb.BuildMulticastRoute(0, /*numa_aware=*/true);
+  for (std::size_t i = 1; i < route.nodes.size(); ++i) {
+    EXPECT_GE(route.nodes[i - 1].est_latency, route.nodes[i].est_latency);
+  }
+  // The farthest package goes first and the source's own package last.
+  EXPECT_EQ(route.nodes.back().leader, 0);
+}
+
+TEST(Skb, UnicastOrderFarthestFirst) {
+  SkbFixture f;
+  auto order = f.skb.UnicastOrder(0, /*farthest_first=*/true);
+  EXPECT_EQ(order.size(), 31u);
+  // No duplicates, source excluded.
+  EXPECT_EQ(std::count(order.begin(), order.end(), 0), 0);
+  EXPECT_GE(f.skb.UrpcLatency(0, order.front()), f.skb.UrpcLatency(0, order.back()));
+}
+
+TEST(Skb, PlaceDriverPrefersLeastLoadedCoreInDevicePackage) {
+  SkbFixture f;
+  EXPECT_EQ(f.skb.PlaceDriver(2), 8);  // first core of package 2 when unloaded
+  f.skb.facts().Assert("load", {8, 10});
+  f.skb.facts().Assert("load", {9, 1});
+  f.skb.facts().Assert("load", {10, 5});
+  f.skb.facts().Assert("load", {11, 5});
+  EXPECT_EQ(f.skb.PlaceDriver(2), 9);
+}
+
+TEST(Skb, BufferNodeFavorsReceiverLocality) {
+  SkbFixture f;
+  int node = f.skb.BufferNode(0, 9);  // sender core 0 (pkg 0), receiver pkg 2
+  EXPECT_EQ(node, 2);
+}
+
+}  // namespace
+}  // namespace mk::skb
