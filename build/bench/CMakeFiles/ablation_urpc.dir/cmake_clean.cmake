@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_urpc.dir/ablation_urpc.cc.o"
+  "CMakeFiles/ablation_urpc.dir/ablation_urpc.cc.o.d"
+  "ablation_urpc"
+  "ablation_urpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_urpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_shm_vs_msg.dir/fig3_shm_vs_msg.cc.o"
+  "CMakeFiles/fig3_shm_vs_msg.dir/fig3_shm_vs_msg.cc.o.d"
+  "fig3_shm_vs_msg"
+  "fig3_shm_vs_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_shm_vs_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_shm_vs_msg.
+# This may be replaced when dependencies are built.

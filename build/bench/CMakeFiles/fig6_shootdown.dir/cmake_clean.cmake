@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_shootdown.dir/fig6_shootdown.cc.o"
+  "CMakeFiles/fig6_shootdown.dir/fig6_shootdown.cc.o.d"
+  "fig6_shootdown"
+  "fig6_shootdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_shootdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

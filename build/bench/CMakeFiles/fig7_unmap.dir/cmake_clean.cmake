@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_unmap.dir/fig7_unmap.cc.o"
+  "CMakeFiles/fig7_unmap.dir/fig7_unmap.cc.o.d"
+  "fig7_unmap"
+  "fig7_unmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_unmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

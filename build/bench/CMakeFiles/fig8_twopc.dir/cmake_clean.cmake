@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_twopc.dir/fig8_twopc.cc.o"
+  "CMakeFiles/fig8_twopc.dir/fig8_twopc.cc.o.d"
+  "fig8_twopc"
+  "fig8_twopc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_twopc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_compute.dir/fig9_compute.cc.o"
+  "CMakeFiles/fig9_compute.dir/fig9_compute.cc.o.d"
+  "fig9_compute"
+  "fig9_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polling_model.dir/polling_model.cc.o"
+  "CMakeFiles/polling_model.dir/polling_model.cc.o.d"
+  "polling_model"
+  "polling_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polling_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

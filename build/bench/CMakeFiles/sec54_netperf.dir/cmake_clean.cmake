@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_netperf.dir/sec54_netperf.cc.o"
+  "CMakeFiles/sec54_netperf.dir/sec54_netperf.cc.o.d"
+  "sec54_netperf"
+  "sec54_netperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_netperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_webserver.dir/sec54_webserver.cc.o"
+  "CMakeFiles/sec54_webserver.dir/sec54_webserver.cc.o.d"
+  "sec54_webserver"
+  "sec54_webserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_lrpc.dir/table1_lrpc.cc.o"
+  "CMakeFiles/table1_lrpc.dir/table1_lrpc.cc.o.d"
+  "table1_lrpc"
+  "table1_lrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_urpc.dir/table2_urpc.cc.o"
+  "CMakeFiles/table2_urpc.dir/table2_urpc.cc.o.d"
+  "table2_urpc"
+  "table2_urpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_urpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

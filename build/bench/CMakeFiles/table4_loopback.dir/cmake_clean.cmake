@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_loopback.dir/table4_loopback.cc.o"
+  "CMakeFiles/table4_loopback.dir/table4_loopback.cc.o.d"
+  "table4_loopback"
+  "table4_loopback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_services.dir/distributed_services.cpp.o"
+  "CMakeFiles/distributed_services.dir/distributed_services.cpp.o.d"
+  "distributed_services"
+  "distributed_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlb_shootdown_demo.dir/tlb_shootdown_demo.cpp.o"
+  "CMakeFiles/tlb_shootdown_demo.dir/tlb_shootdown_demo.cpp.o.d"
+  "tlb_shootdown_demo"
+  "tlb_shootdown_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlb_shootdown_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_stack.dir/web_stack.cpp.o"
+  "CMakeFiles/web_stack.dir/web_stack.cpp.o.d"
+  "web_stack"
+  "web_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/db.cc" "src/CMakeFiles/mk_apps.dir/apps/db.cc.o" "gcc" "src/CMakeFiles/mk_apps.dir/apps/db.cc.o.d"
+  "/root/repo/src/apps/httpd.cc" "src/CMakeFiles/mk_apps.dir/apps/httpd.cc.o" "gcc" "src/CMakeFiles/mk_apps.dir/apps/httpd.cc.o.d"
+  "/root/repo/src/apps/workloads.cc" "src/CMakeFiles/mk_apps.dir/apps/workloads.cc.o" "gcc" "src/CMakeFiles/mk_apps.dir/apps/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mk_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mk_urpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mk_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mk_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_apps.dir/apps/db.cc.o"
+  "CMakeFiles/mk_apps.dir/apps/db.cc.o.d"
+  "CMakeFiles/mk_apps.dir/apps/httpd.cc.o"
+  "CMakeFiles/mk_apps.dir/apps/httpd.cc.o.d"
+  "CMakeFiles/mk_apps.dir/apps/workloads.cc.o"
+  "CMakeFiles/mk_apps.dir/apps/workloads.cc.o.d"
+  "libmk_apps.a"
+  "libmk_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/ipi_shootdown.cc" "src/CMakeFiles/mk_baseline.dir/baseline/ipi_shootdown.cc.o" "gcc" "src/CMakeFiles/mk_baseline.dir/baseline/ipi_shootdown.cc.o.d"
+  "/root/repo/src/baseline/l4_ipc.cc" "src/CMakeFiles/mk_baseline.dir/baseline/l4_ipc.cc.o" "gcc" "src/CMakeFiles/mk_baseline.dir/baseline/l4_ipc.cc.o.d"
+  "/root/repo/src/baseline/shared_netstack.cc" "src/CMakeFiles/mk_baseline.dir/baseline/shared_netstack.cc.o" "gcc" "src/CMakeFiles/mk_baseline.dir/baseline/shared_netstack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mk_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mk_urpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mk_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_baseline.dir/baseline/ipi_shootdown.cc.o"
+  "CMakeFiles/mk_baseline.dir/baseline/ipi_shootdown.cc.o.d"
+  "CMakeFiles/mk_baseline.dir/baseline/l4_ipc.cc.o"
+  "CMakeFiles/mk_baseline.dir/baseline/l4_ipc.cc.o.d"
+  "CMakeFiles/mk_baseline.dir/baseline/shared_netstack.cc.o"
+  "CMakeFiles/mk_baseline.dir/baseline/shared_netstack.cc.o.d"
+  "libmk_baseline.a"
+  "libmk_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

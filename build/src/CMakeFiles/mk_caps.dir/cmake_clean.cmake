@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_caps.dir/caps/capability.cc.o"
+  "CMakeFiles/mk_caps.dir/caps/capability.cc.o.d"
+  "CMakeFiles/mk_caps.dir/caps/cspace.cc.o"
+  "CMakeFiles/mk_caps.dir/caps/cspace.cc.o.d"
+  "libmk_caps.a"
+  "libmk_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

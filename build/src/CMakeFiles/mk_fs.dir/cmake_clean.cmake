@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_fs.dir/fs/ramfs.cc.o"
+  "CMakeFiles/mk_fs.dir/fs/ramfs.cc.o.d"
+  "libmk_fs.a"
+  "libmk_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

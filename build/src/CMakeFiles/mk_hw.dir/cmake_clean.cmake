@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_hw.dir/hw/coherence.cc.o"
+  "CMakeFiles/mk_hw.dir/hw/coherence.cc.o.d"
+  "CMakeFiles/mk_hw.dir/hw/machine.cc.o"
+  "CMakeFiles/mk_hw.dir/hw/machine.cc.o.d"
+  "CMakeFiles/mk_hw.dir/hw/platform.cc.o"
+  "CMakeFiles/mk_hw.dir/hw/platform.cc.o.d"
+  "CMakeFiles/mk_hw.dir/hw/topology.cc.o"
+  "CMakeFiles/mk_hw.dir/hw/topology.cc.o.d"
+  "libmk_hw.a"
+  "libmk_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_idc.dir/idc/name_service.cc.o"
+  "CMakeFiles/mk_idc.dir/idc/name_service.cc.o.d"
+  "CMakeFiles/mk_idc.dir/idc/service.cc.o"
+  "CMakeFiles/mk_idc.dir/idc/service.cc.o.d"
+  "libmk_idc.a"
+  "libmk_idc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_idc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mk_idc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_kernel.dir/kernel/cpu_driver.cc.o"
+  "CMakeFiles/mk_kernel.dir/kernel/cpu_driver.cc.o.d"
+  "libmk_kernel.a"
+  "libmk_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_mm.dir/mm/buddy.cc.o"
+  "CMakeFiles/mk_mm.dir/mm/buddy.cc.o.d"
+  "CMakeFiles/mk_mm.dir/mm/vspace.cc.o"
+  "CMakeFiles/mk_mm.dir/mm/vspace.cc.o.d"
+  "libmk_mm.a"
+  "libmk_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

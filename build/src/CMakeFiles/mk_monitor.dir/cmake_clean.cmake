@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_monitor.dir/monitor/monitor.cc.o"
+  "CMakeFiles/mk_monitor.dir/monitor/monitor.cc.o.d"
+  "libmk_monitor.a"
+  "libmk_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

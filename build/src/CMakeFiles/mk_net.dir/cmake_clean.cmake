@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_net.dir/net/nic.cc.o"
+  "CMakeFiles/mk_net.dir/net/nic.cc.o.d"
+  "CMakeFiles/mk_net.dir/net/packet_channel.cc.o"
+  "CMakeFiles/mk_net.dir/net/packet_channel.cc.o.d"
+  "CMakeFiles/mk_net.dir/net/stack.cc.o"
+  "CMakeFiles/mk_net.dir/net/stack.cc.o.d"
+  "CMakeFiles/mk_net.dir/net/wire.cc.o"
+  "CMakeFiles/mk_net.dir/net/wire.cc.o.d"
+  "libmk_net.a"
+  "libmk_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

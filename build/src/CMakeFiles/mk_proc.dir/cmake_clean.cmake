@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_proc.dir/proc/openmp.cc.o"
+  "CMakeFiles/mk_proc.dir/proc/openmp.cc.o.d"
+  "CMakeFiles/mk_proc.dir/proc/threads.cc.o"
+  "CMakeFiles/mk_proc.dir/proc/threads.cc.o.d"
+  "libmk_proc.a"
+  "libmk_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_sim.dir/sim/executor.cc.o"
+  "CMakeFiles/mk_sim.dir/sim/executor.cc.o.d"
+  "libmk_sim.a"
+  "libmk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

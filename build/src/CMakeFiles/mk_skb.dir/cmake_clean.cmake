@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_skb.dir/skb/datalog.cc.o"
+  "CMakeFiles/mk_skb.dir/skb/datalog.cc.o.d"
+  "CMakeFiles/mk_skb.dir/skb/skb.cc.o"
+  "CMakeFiles/mk_skb.dir/skb/skb.cc.o.d"
+  "libmk_skb.a"
+  "libmk_skb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_skb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mk_urpc.dir/urpc/channel.cc.o"
+  "CMakeFiles/mk_urpc.dir/urpc/channel.cc.o.d"
+  "libmk_urpc.a"
+  "libmk_urpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mk_urpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

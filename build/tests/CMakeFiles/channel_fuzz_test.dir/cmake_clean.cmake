@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_fuzz_test.dir/channel_fuzz_test.cc.o"
+  "CMakeFiles/channel_fuzz_test.dir/channel_fuzz_test.cc.o.d"
+  "channel_fuzz_test"
+  "channel_fuzz_test.pdb"
+  "channel_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

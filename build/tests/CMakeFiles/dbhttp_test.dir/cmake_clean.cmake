@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbhttp_test.dir/dbhttp_test.cc.o"
+  "CMakeFiles/dbhttp_test.dir/dbhttp_test.cc.o.d"
+  "dbhttp_test"
+  "dbhttp_test.pdb"
+  "dbhttp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbhttp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

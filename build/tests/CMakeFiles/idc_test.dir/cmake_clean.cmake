@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idc_test.dir/idc_test.cc.o"
+  "CMakeFiles/idc_test.dir/idc_test.cc.o.d"
+  "idc_test"
+  "idc_test.pdb"
+  "idc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skb_test.dir/skb_test.cc.o"
+  "CMakeFiles/skb_test.dir/skb_test.cc.o.d"
+  "skb_test"
+  "skb_test.pdb"
+  "skb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urpc_test.dir/urpc_test.cc.o"
+  "CMakeFiles/urpc_test.dir/urpc_test.cc.o.d"
+  "urpc_test"
+  "urpc_test.pdb"
+  "urpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/urpc_test[1]_include.cmake")
+include("/root/repo/build/tests/caps_test[1]_include.cmake")
+include("/root/repo/build/tests/mm_test[1]_include.cmake")
+include("/root/repo/build/tests/skb_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/proc_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/dbhttp_test[1]_include.cmake")
+include("/root/repo/build/tests/idc_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/coherence_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_fuzz_test[1]_include.cmake")
