@@ -6,12 +6,36 @@
 // experiments.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "hw/machine.h"
 #include "hw/platform.h"
 #include "sim/executor.h"
 #include "sim/random.h"
 #include "skb/skb.h"
 #include "urpc/channel.h"
+
+// Global allocation counter: every operator new in the process bumps it, so
+// a benchmark can report exact heap-allocation counts for a measured region
+// (see BM_ExecutorSteadyStateAllocs).
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -32,6 +56,52 @@ void BM_ExecutorEventDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_ExecutorEventDispatch);
+
+// Far-tier stress: timestamps spread across a 50k-cycle horizon, so most
+// events enter the far heap and migrate into the near ring as the clock
+// approaches them.
+void BM_ExecutorFarHorizon(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Executor exec;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      exec.CallAt(static_cast<Cycles>((i * 37) % 50000), [&sink] { ++sink; });
+    }
+    exec.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ExecutorFarHorizon);
+
+// Steady-state allocation audit: a long-lived executor dispatching inline
+// callbacks must do zero heap allocations per event once its node freelist
+// has warmed up. Reports allocations per thousand dispatched events.
+void BM_ExecutorSteadyStateAllocs(benchmark::State& state) {
+  sim::Executor exec;
+  int sink = 0;
+  // Warm-up: grow the node freelist and the far heap past the working set.
+  for (int i = 0; i < 4000; ++i) {
+    exec.CallAt(static_cast<Cycles>(i % 2000), [&sink] { ++sink; });
+  }
+  exec.Run();
+  const std::uint64_t events_before = exec.events_dispatched();
+  const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    const Cycles base = exec.now();
+    for (int i = 0; i < 1000; ++i) {
+      exec.CallAt(base + 1 + static_cast<Cycles>(i % 700), [&sink] { ++sink; });
+    }
+    exec.Run();
+  }
+  const std::uint64_t events = exec.events_dispatched() - events_before;
+  const std::uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["allocs_per_1k_events"] =
+      1000.0 * static_cast<double>(allocs) / static_cast<double>(events ? events : 1);
+}
+BENCHMARK(BM_ExecutorSteadyStateAllocs);
 
 Task<> DelayLoop(sim::Executor& exec, int n) {
   for (int i = 0; i < n; ++i) {
@@ -91,6 +161,37 @@ void BM_UrpcChannelStream(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_UrpcChannelStream);
+
+Task<> PingClient(urpc::Channel& req, urpc::Channel& resp, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await req.SendPosted(urpc::Message{});
+    (void)co_await resp.Recv();
+  }
+}
+
+Task<> PingServer(urpc::Channel& req, urpc::Channel& resp, int n) {
+  for (int i = 0; i < n; ++i) {
+    (void)co_await req.Recv();
+    co_await resp.SendPosted(urpc::Message{});
+  }
+}
+
+// Round-trip URPC: request and response channels between two cores, the
+// paper's ping-pong shape. Exercises the executor's wake-up path (Event
+// signal -> schedule -> resume) once per message in each direction.
+void BM_UrpcPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Executor exec;
+    hw::Machine m(exec, hw::Amd4x4());
+    urpc::Channel req(m, 0, 4);
+    urpc::Channel resp(m, 4, 0);
+    exec.Spawn(PingClient(req, resp, 500));
+    exec.Spawn(PingServer(req, resp, 500));
+    exec.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // two messages per round trip
+}
+BENCHMARK(BM_UrpcPingPong);
 
 void BM_SkbRouteConstruction(benchmark::State& state) {
   sim::Executor exec;

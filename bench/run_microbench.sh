@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds and runs the wall-time microbenchmarks (bench/microbench.cc),
+# writing google-benchmark's JSON report to BENCH_microbench.json at the
+# repo root (and the usual human-readable table to stdout).
+#
+# Extra arguments pass through to the benchmark binary, e.g.:
+#   bench/run_microbench.sh --benchmark_filter=BM_Executor.*
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j --target microbench
+
+./build/bench/microbench \
+  --benchmark_out=BENCH_microbench.json \
+  --benchmark_out_format=json \
+  "$@"

@@ -7,12 +7,16 @@ sim::Task<> IpiFabric::Send(int from, int to, int vector) {
   const CostBook& c = spec_.cost;
   int hops = topo_.Hops(topo_.PackageOf(from), topo_.PackageOf(to));
   sim::Cycles wire = c.ipi_wire + c.cross_rt_per_hop * static_cast<sim::Cycles>(hops);
-  exec_.CallAt(exec_.now() + c.ipi_send + wire, [this, to, vector] {
+  auto arrive = [this, to, vector] {
     ++counters_.core(to).ipis_received;
     if (handlers_[to]) {
       handlers_[to](vector);
     }
-  });
+  };
+  // Per-IPI arrival closure: must stay within the inline callback budget so
+  // interrupt fan-outs (e.g. multicast shootdowns) never heap-allocate.
+  static_assert(sizeof(arrive) <= sim::InlineCallback::kInlineBytes);
+  exec_.CallAt(exec_.now() + c.ipi_send + wire, std::move(arrive));
   co_await exec_.Delay(c.ipi_send);
 }
 

@@ -26,14 +26,18 @@ Task<> CpuDriver::LrpcSend(EndpointId ep, LrpcMsg msg) {
   // Sender pays the trap into the CPU driver; delivery happens split-phase.
   co_await machine_.Syscall(core_);
   const Cycles deliver_cost = c.dispatch + c.lrpc_user_path;
-  machine_.exec().CallAt(machine_.exec().now(), [this, ep, msg, deliver_cost] {
+  auto deliver = [this, ep, msg, deliver_cost] {
     machine_.exec().Spawn([](CpuDriver* self, EndpointId e, LrpcMsg m,
                              Cycles cost) -> Task<> {
       co_await self->machine_.Compute(self->core_, cost);
       ++self->messages_delivered_;
       co_await self->endpoints_[e].handler(m);
     }(this, ep, msg, deliver_cost));
-  });
+  };
+  // Per-message delivery closure: must stay within the executor's inline
+  // callback budget or every LRPC send would heap-allocate.
+  static_assert(sizeof(deliver) <= sim::InlineCallback::kInlineBytes);
+  machine_.exec().CallAt(machine_.exec().now(), std::move(deliver));
 }
 
 Task<> CpuDriver::LrpcCall(EndpointId ep, LrpcMsg msg) {

@@ -109,18 +109,23 @@ Task<MapErr> VSpace::UnmapOrProtect(int initiator_core, std::uint64_t vaddr,
   co_return MapErr::kOk;
 }
 
+// Forward the inner task directly: no wrapper coroutine frame per call.
 Task<MapErr> VSpace::Unmap(int initiator_core, std::uint64_t vaddr, std::uint64_t bytes) {
-  co_return co_await UnmapOrProtect(initiator_core, vaddr, bytes, /*protect_only=*/false);
+  return UnmapOrProtect(initiator_core, vaddr, bytes, /*protect_only=*/false);
 }
 
 Task<MapErr> VSpace::Protect(int initiator_core, std::uint64_t vaddr, std::uint64_t bytes) {
-  co_return co_await UnmapOrProtect(initiator_core, vaddr, bytes, /*protect_only=*/true);
+  return UnmapOrProtect(initiator_core, vaddr, bytes, /*protect_only=*/true);
 }
 
 Task<std::uint64_t> VSpace::Translate(int core, std::uint64_t vaddr) {
   hw::TlbEntry cached;
   if (machine_.tlb(core).Lookup(vaddr, &cached)) {
-    co_await machine_.exec().Delay(1);
+    // TLB hit: completes synchronously. Hit latency is part of the
+    // instruction's own pipeline, not a separately simulated event — the
+    // Delay(1) that used to sit here pushed one event through the queue per
+    // hit, flooding the executor on translation-heavy paths for no
+    // modelling benefit.
     co_return cached.paddr + (vaddr % kPage);
   }
   ++machine_.counters().core(core).tlb_misses;

@@ -75,7 +75,8 @@ class VSpace {
   Task<MapErr> Protect(int initiator_core, std::uint64_t vaddr, std::uint64_t bytes);
 
   // Software page-table walk: translates and fills the core's TLB, charging
-  // the walk cost. Returns the physical address or ~0 on fault.
+  // the walk cost. Returns the physical address or ~0 on fault. A TLB hit
+  // completes synchronously — zero simulated cycles, zero scheduled events.
   Task<std::uint64_t> Translate(int core, std::uint64_t vaddr);
 
   // Zero-cost lookup for assertions.

@@ -4,6 +4,13 @@
 // use); they model control-flow coupling inside one simulated component.
 // Anything that should cost cycles or interconnect traffic must instead go
 // through the hw:: machine model.
+//
+// Waiter bookkeeping is intrusive: a plain Wait() links a node that lives in
+// the awaiting coroutine's frame into the event's doubly-linked waiter list,
+// so registering and waking a waiter does no heap allocation. Only
+// WaitTimeout() allocates (a shared node kept alive for the timer callback;
+// see the comment there) — acceptable because timed waits are the cold
+// blocking path, not the message fast path.
 #ifndef MK_SIM_EVENT_H_
 #define MK_SIM_EVENT_H_
 
@@ -12,7 +19,6 @@
 #include <deque>
 #include <memory>
 #include <utility>
-#include <vector>
 
 #include "sim/executor.h"
 #include "sim/task.h"
@@ -32,26 +38,41 @@ class Event {
   auto Wait() {
     struct Awaiter {
       Event* event;
+      WaitNode node;
+      explicit Awaiter(Event* e) : event(e) {}
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        event->waiters_.push_back(std::make_shared<Node>(Node{h, true, false}));
+        node.handle = h;
+        event->Link(&node);
       }
-      void await_resume() const noexcept {}
+      void await_resume() noexcept {}
+      // The node lives in this awaiter (in the coroutine frame). If the frame
+      // dies — normally right after resuming, exceptionally if the task is
+      // destroyed while suspended — drop the node from the waiter list.
+      ~Awaiter() { event->UnlinkIfLinked(&node); }
     };
-    return Awaiter{this};
+    return Awaiter(this);
   }
 
   // Suspends until Signal() or until `timeout` cycles elapse, whichever comes
   // first. Returns true if the event was signaled in time.
+  //
+  // The node is heap-allocated and shared with the timer callback: the timer
+  // cannot be cancelled once scheduled, and it may fire long after the waiter
+  // was signaled, resumed, and destroyed — the shared_ptr keeps the node (and
+  // its flags) valid until then. The list only ever holds the node while this
+  // awaiter is alive (await_resume/destructor unlink it).
   auto WaitTimeout(Cycles timeout) {
     struct Awaiter {
       Event* event;
       Cycles timeout;
-      std::shared_ptr<Node> node;
+      std::shared_ptr<WaitNode> node;
+      Awaiter(Event* e, Cycles t) : event(e), timeout(t) {}
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        node = std::make_shared<Node>(Node{h, true, false});
-        event->waiters_.push_back(node);
+        node = std::make_shared<WaitNode>();
+        node->handle = h;
+        event->Link(node.get());
         Executor& exec = event->exec_;
         exec.CallAt(exec.now() + timeout, [node = node, &exec] {
           if (node->active) {
@@ -61,28 +82,41 @@ class Event {
           }
         });
       }
-      bool await_resume() const noexcept { return node->signaled; }
+      bool await_resume() noexcept {
+        event->UnlinkIfLinked(node.get());
+        return node->signaled;
+      }
+      ~Awaiter() {
+        if (node != nullptr) {
+          event->UnlinkIfLinked(node.get());
+          node->active = false;  // a still-pending timer must not resume us
+        }
+      }
     };
-    return Awaiter{this, timeout, nullptr};
+    return Awaiter(this, timeout);
   }
 
   // Wakes all waiters. Waiters registered after this call wait for the next
   // signal.
   void Signal() {
-    auto woken = std::move(waiters_);
-    waiters_.clear();
-    for (auto& node : woken) {
-      WakeNode(*node);
+    WaitNode* n = head_;
+    head_ = tail_ = nullptr;
+    while (n != nullptr) {
+      WaitNode* next = n->next;  // read before waking: the node belongs to the waiter
+      n->linked = false;
+      n->prev = n->next = nullptr;
+      WakeNode(*n);
+      n = next;
     }
   }
 
   // Wakes the oldest waiter, if any. Returns whether a waiter was woken.
   bool SignalOne() {
-    while (!waiters_.empty()) {
-      auto node = waiters_.front();
-      waiters_.erase(waiters_.begin());
-      if (node->active) {
-        WakeNode(*node);
+    while (head_ != nullptr) {
+      WaitNode* n = head_;
+      UnlinkIfLinked(n);
+      if (n->active) {
+        WakeNode(*n);
         return true;
       }
     }
@@ -90,23 +124,56 @@ class Event {
   }
 
   std::size_t waiter_count() const {
-    std::size_t n = 0;
-    for (const auto& node : waiters_) {
-      if (node->active) {
-        ++n;
+    std::size_t count = 0;
+    for (const WaitNode* n = head_; n != nullptr; n = n->next) {
+      if (n->active) {
+        ++count;
       }
     }
-    return n;
+    return count;
   }
 
  private:
-  struct Node {
+  struct WaitNode {
     std::coroutine_handle<> handle;
+    WaitNode* prev = nullptr;
+    WaitNode* next = nullptr;
+    bool linked = false;
     bool active = true;
     bool signaled = false;
   };
 
-  void WakeNode(Node& node) {
+  void Link(WaitNode* n) {
+    n->linked = true;
+    n->prev = tail_;
+    n->next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+  }
+
+  void UnlinkIfLinked(WaitNode* n) noexcept {
+    if (!n->linked) {
+      return;
+    }
+    n->linked = false;
+    if (n->prev != nullptr) {
+      n->prev->next = n->next;
+    } else {
+      head_ = n->next;
+    }
+    if (n->next != nullptr) {
+      n->next->prev = n->prev;
+    } else {
+      tail_ = n->prev;
+    }
+    n->prev = n->next = nullptr;
+  }
+
+  void WakeNode(WaitNode& node) {
     if (!node.active) {
       return;
     }
@@ -116,7 +183,8 @@ class Event {
   }
 
   Executor& exec_;
-  std::vector<std::shared_ptr<Node>> waiters_;
+  WaitNode* head_ = nullptr;  // FIFO: head is the oldest waiter
+  WaitNode* tail_ = nullptr;
 };
 
 // Counting semaphore with FIFO wakeup order.

@@ -1,5 +1,6 @@
 #include "sim/executor.h"
 
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -35,20 +36,6 @@ Detached RunDetached(Task<> task, std::size_t* live_counter) {
 
 }  // namespace
 
-void Executor::ScheduleAt(Cycles t, std::coroutine_handle<> h) {
-  if (t < now_) {
-    t = now_;
-  }
-  queue_.push(Item{t, next_seq_++, h, nullptr});
-}
-
-void Executor::CallAt(Cycles t, std::function<void()> fn) {
-  if (t < now_) {
-    t = now_;
-  }
-  queue_.push(Item{t, next_seq_++, nullptr, std::move(fn)});
-}
-
 void Executor::Spawn(Task<> task) {
   ++live_tasks_;
   // The wrapper starts eagerly; the inner task suspends at its first await or
@@ -56,35 +43,129 @@ void Executor::Spawn(Task<> task) {
   RunDetached(std::move(task), &live_tasks_);
 }
 
-void Executor::Dispatch(Item& item) {
-  now_ = item.at;
-  ++events_dispatched_;
-  if (item.handle) {
-    item.handle.resume();
-  } else {
-    item.fn();
+Cycles Executor::NextNearCycle() const {
+  const std::size_t start = static_cast<std::size_t>(now_ & kWindowMask);
+  const std::size_t start_word = start >> 6;
+  // The start word, masked to slots at or after `start`.
+  std::uint64_t word = occupied_[start_word] & (~std::uint64_t{0} << (start & 63));
+  std::size_t w = start_word;
+  for (std::size_t step = 0;; ++step) {
+    if (word != 0) {
+      const std::size_t slot = (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      const Cycles d = static_cast<Cycles>((slot + kNearWindow - start) & kWindowMask);
+      return now_ + d;
+    }
+    w = (w + 1) & (kBitmapWords - 1);
+    word = occupied_[w];
+    if (step == kBitmapWords - 1) {
+      // Wrapped back to the start word: only slots before `start` remain
+      // (they are the most distant cycles of the window).
+      word &= ~(~std::uint64_t{0} << (start & 63));
+    }
   }
 }
 
+Executor::Node* Executor::RefillFreelist() {
+  // Default-init (not value-init): node callbacks construct empty, the rest
+  // of each node's 80 bytes stays untouched until first use.
+  std::unique_ptr<Node[]> chunk(new Node[kNodeChunk]);
+  for (std::size_t i = kNodeChunk - 1; i >= 1; --i) {
+    chunk[i].next = free_;
+    free_ = &chunk[i];
+  }
+  Node* n = &chunk[0];
+  chunks_.push_back(std::move(chunk));
+  return n;
+}
+
+void Executor::AdvanceTo(Cycles t) {
+  now_ = t;
+  while (!far_.empty() && far_.front().at - now_ < kNearWindow) {
+    std::pop_heap(far_.begin(), far_.end(), FarLater{});
+    FarItem item = std::move(far_.back());
+    far_.pop_back();
+    Node* n = GetNode();
+    n->cb = std::move(item.cb);
+    LinkNear(item.at, n);
+  }
+}
+
+void Executor::DispatchCycle() {
+  const std::size_t slot = static_cast<std::size_t>(now_ & kWindowMask);
+  // Pop-invoke until the bucket drains. An invoked event may append
+  // same-cycle events (Yield, immediate wake-ups); they link onto the tail
+  // and this loop reaches them in insertion order. The head node is
+  // unlinked before invoking, so mid-dispatch appends to an emptied bucket
+  // start a fresh list. Coroutine resumptions — the dominant event kind —
+  // skip the type-erased invoke and destroy calls entirely.
+  Node* n;
+  while ((n = bucket_head_[slot]) != nullptr) {
+    bucket_head_[slot] = n->next;
+    if (n->next == nullptr) {
+      bucket_tail_[slot] = nullptr;
+    }
+    --near_count_;
+    ++events_dispatched_;
+    if (n->cb.holds<ResumeFn>()) {
+      const std::coroutine_handle<> h = n->cb.get_unchecked<ResumeFn>().handle;
+      n->cb.discard_unchecked<ResumeFn>();
+      PutNode(n);  // node is dead before resume; the callee may reuse it
+      h.resume();
+    } else {
+      n->cb();     // in place: the node is unlinked but still owned here
+      n->cb.reset();
+      PutNode(n);
+    }
+  }
+  occupied_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+}
+
 Cycles Executor::Run() {
-  while (!queue_.empty()) {
-    Item item = queue_.top();
-    queue_.pop();
-    Dispatch(item);
+  for (;;) {
+    if (hot_full_) {
+      DispatchHot();
+      continue;
+    }
+    if (near_count_ == 0) {
+      if (far_.empty()) {
+        break;
+      }
+      AdvanceTo(far_.front().at);  // jump across the empty gap; migrates
+      continue;
+    }
+    AdvanceTo(NextNearCycle());
+    DispatchCycle();
   }
   return now_;
 }
 
 bool Executor::RunUntil(Cycles deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    Item item = queue_.top();
-    queue_.pop();
-    Dispatch(item);
+  for (;;) {
+    if (hot_full_) {
+      if (hot_at_ > deadline) {
+        break;
+      }
+      DispatchHot();
+      continue;
+    }
+    if (near_count_ == 0) {
+      if (far_.empty() || far_.front().at > deadline) {
+        break;
+      }
+      AdvanceTo(far_.front().at);
+      continue;
+    }
+    const Cycles c = NextNearCycle();
+    if (c > deadline) {
+      break;
+    }
+    AdvanceTo(c);
+    DispatchCycle();
   }
   if (now_ < deadline) {
-    now_ = deadline;
+    AdvanceTo(deadline);  // keep the far-migration invariant at the new time
   }
-  return !queue_.empty();
+  return hot_full_ || near_count_ != 0 || !far_.empty();
 }
 
 }  // namespace mk::sim

@@ -1,18 +1,41 @@
 // Deterministic discrete-event executor: the simulated machine's clock.
 //
-// All simulated activity is driven by a single min-heap of timestamped events.
-// Ties are broken by insertion order, so a given seed always produces a
-// bit-identical run. The executor is single-threaded by design; parallelism in
-// the simulated machine is expressed as interleaved events, not host threads.
+// All simulated activity is driven by a two-tier timestamped event queue,
+// fronted by a one-event fast path:
+//
+//   * Hot slot — when the queue is otherwise empty, a pushed event parks in
+//     a single inline slot and dispatches without touching the ring or the
+//     bitmap. A lone task ping-ponging through Delay() (the most common
+//     microbenchmark and boot-time shape) never leaves this path.
+//   * Near tier — a ring of per-cycle FIFO buckets covering the next
+//     kNearWindow cycles. Simulated delays cluster around small constants
+//     (cache transfers, IPI wires, kernel paths are all well under 1024
+//     cycles), so almost every event is an O(1) bucket append and an O(1)
+//     pop, with an occupancy bitmap to skip empty cycles.
+//   * Far tier — a binary heap ordered by (timestamp, insertion sequence)
+//     for the rare events beyond the window (backoff timers, coarse
+//     workload pacing). Far events migrate into the ring as the clock
+//     approaches them, strictly before any same-cycle near event can be
+//     enqueued, so global FIFO tie-breaking is preserved.
+//
+// Ties at one timestamp always run in insertion order, so a given seed
+// produces a bit-identical run. Steady-state dispatch does no heap
+// allocation: events carry an InlineCallback (56-byte small-buffer
+// callable) in freelist-recycled nodes allocated in chunks, and coroutine
+// resumption stores just the handle. The executor is single-threaded by
+// design; parallelism in the simulated machine is expressed as interleaved
+// events, not host threads.
 #ifndef MK_SIM_EXECUTOR_H_
 #define MK_SIM_EXECUTOR_H_
 
+#include <algorithm>
+#include <array>
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "sim/task.h"
 #include "sim/types.h"
 
@@ -20,6 +43,10 @@ namespace mk::sim {
 
 class Executor {
  public:
+  // Width of the near-future bucket ring, in cycles. Power of two; sized to
+  // cover the simulator's common delay constants (Delay(50..800), Yield).
+  static constexpr Cycles kNearWindow = 1024;
+
   Executor() = default;
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
@@ -27,10 +54,11 @@ class Executor {
   Cycles now() const { return now_; }
 
   // Resumes `h` at absolute time `t` (clamped to now()).
-  void ScheduleAt(Cycles t, std::coroutine_handle<> h);
+  void ScheduleAt(Cycles t, std::coroutine_handle<> h) { PushHandle(t, h); }
 
-  // Runs `fn` at absolute time `t` (clamped to now()).
-  void CallAt(Cycles t, std::function<void()> fn);
+  // Runs `fn` at absolute time `t` (clamped to now()). Callables up to
+  // InlineCallback::kInlineBytes are stored without heap allocation.
+  void CallAt(Cycles t, InlineCallback fn) { Push(t, std::move(fn)); }
 
   // Awaitable: suspends the current task for `d` cycles of simulated time.
   auto Delay(Cycles d) {
@@ -39,7 +67,7 @@ class Executor {
       Cycles delay;
       bool await_ready() const noexcept { return delay == 0; }
       void await_suspend(std::coroutine_handle<> h) {
-        exec->ScheduleAt(exec->now_ + delay, h);
+        exec->PushHandle(exec->now_ + delay, h);
       }
       void await_resume() const noexcept {}
     };
@@ -52,7 +80,9 @@ class Executor {
     struct Awaiter {
       Executor* exec;
       bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) { exec->ScheduleAt(exec->now_, h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        exec->PushHandle(exec->now_, h);
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{this};
@@ -75,14 +105,22 @@ class Executor {
   std::uint64_t events_dispatched() const { return events_dispatched_; }
 
  private:
-  struct Item {
+  static constexpr Cycles kWindowMask = kNearWindow - 1;
+  static constexpr std::size_t kBitmapWords = kNearWindow / 64;
+
+  // Resumes a suspended coroutine; 8 bytes, always stored inline.
+  struct ResumeFn {
+    std::coroutine_handle<> handle;
+    void operator()() const { handle.resume(); }
+  };
+
+  struct FarItem {
     Cycles at;
     std::uint64_t seq;
-    std::coroutine_handle<> handle;      // exactly one of handle/fn is set
-    std::function<void()> fn;
+    InlineCallback cb;
   };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
+  struct FarLater {
+    bool operator()(const FarItem& a, const FarItem& b) const {
       if (a.at != b.at) {
         return a.at > b.at;
       }
@@ -90,13 +128,170 @@ class Executor {
     }
   };
 
-  void Dispatch(Item& item);
+  // A near-tier event: one freelist-recycled node per queued event, linked
+  // into its cycle's FIFO bucket. Nodes come from chunked slabs, so warm-up
+  // costs O(chunks) allocations and steady state costs none.
+  struct Node {
+    InlineCallback cb;
+    Node* next;
+  };
+
+  // Hot-slot fast path: an event pushed into an otherwise-empty queue parks
+  // in a single inline slot. A second push demotes it into the normal tiers
+  // (first, preserving its earlier insertion order) before enqueueing the
+  // newcomer. Invariant: hot_full_ implies near_count_ == 0 && far_.empty().
+  void PushHandle(Cycles t, std::coroutine_handle<> h) {
+    if (t < now_) {
+      t = now_;
+    }
+    if (!hot_full_ && near_count_ == 0 && far_.empty()) {
+      hot_full_ = true;
+      hot_is_handle_ = true;
+      hot_at_ = t;
+      hot_handle_ = h;
+      return;
+    }
+    if (hot_full_) {
+      DemoteHot();
+    }
+    if (t - now_ < kNearWindow) {
+      Node* n = GetNode();
+      n->cb.emplace(ResumeFn{h});  // inline store: no type-erased call
+      LinkNear(t, n);
+    } else {
+      EnqueueFar(t, InlineCallback(ResumeFn{h}));
+    }
+  }
+
+  void Push(Cycles t, InlineCallback cb) {
+    if (t < now_) {
+      t = now_;
+    }
+    if (!hot_full_ && near_count_ == 0 && far_.empty()) {
+      hot_full_ = true;
+      hot_is_handle_ = false;
+      hot_at_ = t;
+      hot_cb_ = std::move(cb);
+      return;
+    }
+    if (hot_full_) {
+      DemoteHot();
+    }
+    Enqueue(t, std::move(cb));
+  }
+
+  // Moves the hot-slot event into the normal tiers. The hot event was
+  // inserted earlier than whatever push triggered the demotion, so it must
+  // enqueue first for a same-cycle tie to keep global FIFO order.
+  void DemoteHot() {
+    hot_full_ = false;
+    if (hot_is_handle_) {
+      if (hot_at_ - now_ < kNearWindow) {
+        Node* n = GetNode();
+        n->cb.emplace(ResumeFn{hot_handle_});
+        LinkNear(hot_at_, n);
+      } else {
+        EnqueueFar(hot_at_, InlineCallback(ResumeFn{hot_handle_}));
+      }
+    } else {
+      Enqueue(hot_at_, std::move(hot_cb_));
+    }
+  }
+
+  // Routes an event (time already clamped) into the near ring or far heap.
+  void Enqueue(Cycles t, InlineCallback cb) {
+    if (t - now_ < kNearWindow) {
+      Node* n = GetNode();
+      n->cb = std::move(cb);
+      LinkNear(t, n);
+    } else {
+      EnqueueFar(t, std::move(cb));
+    }
+  }
+
+  void LinkNear(Cycles t, Node* n) {
+    const std::size_t slot = static_cast<std::size_t>(t & kWindowMask);
+    n->next = nullptr;
+    if (bucket_tail_[slot] != nullptr) {
+      bucket_tail_[slot]->next = n;
+    } else {
+      bucket_head_[slot] = n;
+    }
+    bucket_tail_[slot] = n;
+    occupied_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    ++near_count_;
+  }
+
+  void EnqueueFar(Cycles t, InlineCallback cb) {
+    far_.push_back(FarItem{t, next_seq_++, std::move(cb)});
+    std::push_heap(far_.begin(), far_.end(), FarLater{});
+  }
+
+  Node* GetNode() {
+    Node* n = free_;
+    if (n != nullptr) {
+      free_ = n->next;
+      return n;
+    }
+    return RefillFreelist();
+  }
+
+  void PutNode(Node* n) noexcept {
+    n->next = free_;
+    free_ = n;
+  }
+
+  // Allocates a fresh chunk of nodes, seeds the freelist, returns one node.
+  Node* RefillFreelist();
+
+  // Dispatches the hot-slot event. Clears the slot before invoking so the
+  // event may immediately re-arm the slot (the lone-task Delay loop).
+  void DispatchHot() {
+    now_ = hot_at_;
+    ++events_dispatched_;
+    hot_full_ = false;
+    if (hot_is_handle_) {
+      std::coroutine_handle<> h = hot_handle_;  // local copy: resume may re-arm the slot
+      h.resume();
+    } else {
+      // Move out: the callback may push a new hot event over hot_cb_.
+      InlineCallback cb = std::move(hot_cb_);
+      cb();
+    }
+  }
+
+  // Scans the occupancy bitmap for the earliest non-empty bucket cycle.
+  // Requires near_count_ > 0.
+  Cycles NextNearCycle() const;
+
+  // Sets now_ = t and restores the invariant that the far heap holds no
+  // event inside [now_, now_ + kNearWindow) by migrating due far events
+  // into the ring. Must run before any event at the new time dispatches,
+  // so that migrated (older-sequence) events precede same-cycle arrivals.
+  void AdvanceTo(Cycles t);
+
+  // Dispatches every event in the bucket for now_, including events appended
+  // to it mid-dispatch (Yield and other same-cycle scheduling).
+  void DispatchCycle();
 
   Cycles now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 0;  // orders far-heap ties; near ties are FIFO by append
   std::uint64_t events_dispatched_ = 0;
   std::size_t live_tasks_ = 0;
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::size_t near_count_ = 0;
+  // Hot slot: the sole pending event when the rest of the queue is empty.
+  bool hot_full_ = false;
+  bool hot_is_handle_ = false;  // selects hot_handle_ vs hot_cb_
+  Cycles hot_at_ = 0;
+  std::coroutine_handle<> hot_handle_;
+  InlineCallback hot_cb_;
+  std::array<Node*, kNearWindow> bucket_head_{};  // per-cycle FIFO lists
+  std::array<Node*, kNearWindow> bucket_tail_{};
+  std::array<std::uint64_t, kBitmapWords> occupied_{};
+  Node* free_ = nullptr;  // recycled-node freelist
+  static constexpr std::size_t kNodeChunk = 128;
+  std::vector<std::unique_ptr<Node[]>> chunks_;  // node slabs; owns all nodes
+  std::vector<FarItem> far_;  // binary heap via std::push_heap/pop_heap
 };
 
 }  // namespace mk::sim

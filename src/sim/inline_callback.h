@@ -1,0 +1,150 @@
+// InlineCallback: a move-only, type-erased void() callable with small-buffer
+// storage, used for every scheduled event in the executor.
+//
+// The dispatch loop of a discrete-event simulator touches one of these per
+// event, so the type is built for that path: callables whose state fits in
+// kInlineBytes (56 bytes — enough for a coroutine handle, an LRPC delivery
+// closure, or a timeout node) live entirely inside the object and cost zero
+// heap traffic to create, move, and destroy. Larger callables still work but
+// fall back to a single heap allocation; keep hot-path closures under the
+// budget (the static_assert below pins the object at one cache line).
+#ifndef MK_SIM_INLINE_CALLBACK_H_
+#define MK_SIM_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mk::sim {
+
+class InlineCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 56;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  // Destroys the stored callable (if any), leaving the callback empty.
+  void reset() noexcept { Reset(); }
+
+  // Replaces the stored callable. Fully inlineable for small F — the hot
+  // construction path pays no indirect call.
+  template <typename F, typename D = std::decay_t<F>>
+  void emplace(F&& f) {
+    Reset();
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  // True iff this callback stores exactly an inline D. Lets a dispatch loop
+  // recognize its dominant callable type and bypass the indirect invoke.
+  template <typename D>
+  bool holds() const noexcept {
+    return ops_ == &kInlineOps<D>;
+  }
+
+  // Precondition: holds<D>(). Direct access to the stored callable.
+  template <typename D>
+  D& get_unchecked() noexcept {
+    return *std::launder(reinterpret_cast<D*>(storage_));
+  }
+
+  // Precondition: holds<D>(). Empties the callback without the indirect
+  // destroy call; only valid for trivially destructible callables.
+  template <typename D>
+  void discard_unchecked() noexcept {
+    static_assert(std::is_trivially_destructible_v<D>);
+    ops_ = nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    // Move-constructs *src into dst and destroys *src (relocation): one
+    // indirect call covers both move construction and the source teardown.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*static_cast<D*>(self))(); },
+      [](void* dst, void* src) noexcept {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* self) noexcept { static_cast<D*>(self)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**static_cast<D**>(self))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* self) noexcept { delete *static_cast<D**>(self); },
+  };
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(sizeof(InlineCallback) == 64, "one cache line: 56B storage + ops pointer");
+
+}  // namespace mk::sim
+
+#endif  // MK_SIM_INLINE_CALLBACK_H_

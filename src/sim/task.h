@@ -36,11 +36,9 @@ class PromiseBase {
     bool await_ready() noexcept { return false; }
     template <typename Promise>
     std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
-      PromiseBase& p = h.promise();
-      if (p.continuation_) {
-        return p.continuation_;
-      }
-      return std::noop_coroutine();
+      // continuation_ defaults to the noop coroutine, so the symmetric
+      // transfer below is branch-free on the completion hot path.
+      return h.promise().continuation_;
     }
     void await_resume() noexcept {}
   };
@@ -58,7 +56,7 @@ class PromiseBase {
   }
 
  private:
-  std::coroutine_handle<> continuation_;
+  std::coroutine_handle<> continuation_ = std::noop_coroutine();
   std::exception_ptr exception_;
 };
 

@@ -57,9 +57,11 @@ Task<> Channel::SendCommon(Message msg, bool posted) {
   }
 }
 
-Task<> Channel::Send(Message msg) { co_await SendCommon(msg, /*posted=*/false); }
+// Return the inner task directly instead of wrapping it in another
+// coroutine: one fewer frame allocation per message on the send fast path.
+Task<> Channel::Send(Message msg) { return SendCommon(msg, /*posted=*/false); }
 
-Task<> Channel::SendPosted(Message msg) { co_await SendCommon(msg, /*posted=*/true); }
+Task<> Channel::SendPosted(Message msg) { return SendCommon(msg, /*posted=*/true); }
 
 Task<Message> Channel::Consume() {
   // Claim the message before any suspension so a second consumer resuming

@@ -1,0 +1,92 @@
+// Determinism regression: one workload, one schedule.
+//
+// The executor guarantees that events tied at a timestamp dispatch in global
+// insertion order (near-tier FIFO buckets; far-tier (time, sequence) heap;
+// eager far-to-near migration), so an identical workload must produce a
+// bit-identical run. The workload here is the Figure 8 shape — two-phase
+// commit capability retypes driven by the monitors of an 8x4-core machine —
+// because it exercises every scheduling path at once: URPC channels, LRPC
+// endpoints, IPI fan-out, SKB-planned multicast, plain delays, and timed
+// waits. Any change that perturbs event ordering (a queue rewrite, a new
+// tie-break rule, a stray source of nondeterminism) fails this test.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "kernel/cpu_driver.h"
+#include "monitor/monitor.h"
+#include "sim/executor.h"
+#include "skb/skb.h"
+
+namespace mk {
+namespace {
+
+using kernel::CpuDriver;
+using monitor::Protocol;
+using sim::Cycles;
+using sim::Task;
+
+struct System {
+  System() : machine(exec, hw::Amd8x4()), drivers(CpuDriver::BootAll(machine)),
+             skb(machine), sys(machine, skb, drivers) {
+    skb.PopulateFromHardware();
+    exec.Spawn(skb.MeasureUrpcLatencies());
+    exec.Run();
+    sys.Boot();
+  }
+  sim::Executor exec;
+  hw::Machine machine;
+  std::vector<std::unique_ptr<CpuDriver>> drivers;
+  skb::Skb skb;
+  monitor::MonitorSystem sys;
+};
+
+struct RunResult {
+  Cycles final_now = 0;
+  std::uint64_t events_dispatched = 0;
+  std::vector<Cycles> latencies;
+};
+
+Task<> RetypeOps(System& s, std::vector<caps::CapId> roots, int ncores,
+                 std::vector<Cycles>& latencies) {
+  for (caps::CapId root : roots) {
+    auto r = co_await s.sys.on(0).GlobalRetype(root, caps::CapType::kFrame, 4096, 1,
+                                               Protocol::kNumaMulticast, {},
+                                               static_cast<std::uint16_t>(ncores));
+    EXPECT_TRUE(r.committed);
+    latencies.push_back(r.latency);
+    co_await s.exec.Delay(20000);
+  }
+  s.sys.Shutdown();
+}
+
+RunResult RunTwoPhaseCommitWorkload() {
+  System s;
+  std::vector<caps::CapId> roots;
+  for (int i = 0; i < 4; ++i) {
+    roots.push_back(s.sys.InstallRootCap(static_cast<std::uint64_t>(i) << 24, 1 << 24));
+  }
+  RunResult out;
+  s.exec.Spawn(RetypeOps(s, roots, /*ncores=*/8, out.latencies));
+  s.exec.Run();
+  out.final_now = s.exec.now();
+  out.events_dispatched = s.exec.events_dispatched();
+  return out;
+}
+
+TEST(Determinism, TwoPhaseCommitRunsBitIdentically) {
+  RunResult a = RunTwoPhaseCommitWorkload();
+  RunResult b = RunTwoPhaseCommitWorkload();
+  EXPECT_GT(a.final_now, 0u);
+  EXPECT_GT(a.events_dispatched, 0u);
+  ASSERT_EQ(a.latencies.size(), 4u);
+  EXPECT_EQ(a.final_now, b.final_now);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.latencies, b.latencies);
+}
+
+}  // namespace
+}  // namespace mk

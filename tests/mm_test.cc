@@ -134,6 +134,39 @@ TEST(VSpace, MapThenTranslate) {
   EXPECT_EQ(f.machine.counters().core(0).tlb_misses, 1u);
 }
 
+// Regression for a hot-path flaw: the TLB-hit branch of Translate used to
+// co_await Delay(1), pushing one event through the executor per hit. Hits
+// must complete synchronously — zero scheduled events, zero simulated time.
+TEST(VSpace, TlbHitTranslationAddsNoEvents) {
+  VsFixture f;
+  VSpace vs(f.machine, f.caps, {0});
+  caps::CapId frame = f.MakeFrame(hw::kPageSize);
+  ASSERT_EQ(vs.Map(frame, 0x400000, Perms{true}), MapErr::kOk);
+  // First translation misses: it walks the tables (charged, event-driven)
+  // and fills the TLB.
+  f.exec.Spawn([](VSpace& v) -> Task<> {
+    (void)co_await v.Translate(0, 0x400123);
+  }(vs));
+  f.exec.Run();
+  ASSERT_TRUE(f.machine.tlb(0).Contains(0x400000));
+  ASSERT_GT(f.exec.events_dispatched(), 0u);
+  const std::uint64_t events_after_miss = f.exec.events_dispatched();
+  const sim::Cycles now_after_miss = f.exec.now();
+  // A hundred hits: no new events, no simulated time, same translation.
+  std::uint64_t sum = 0;
+  f.exec.Spawn([](VSpace& v, std::uint64_t& s) -> Task<> {
+    for (int i = 0; i < 100; ++i) {
+      s += co_await v.Translate(0, 0x400123);
+    }
+  }(vs, sum));
+  f.exec.Run();
+  const caps::Capability* cap = f.caps.Get(frame);
+  EXPECT_EQ(sum, 100u * (cap->base + 0x123));
+  EXPECT_EQ(f.exec.events_dispatched(), events_after_miss);
+  EXPECT_EQ(f.exec.now(), now_after_miss);
+  EXPECT_EQ(f.machine.counters().core(0).tlb_misses, 1u);
+}
+
 TEST(VSpace, MapRejectsNonFrameAndOverlap) {
   VsFixture f;
   VSpace vs(f.machine, f.caps, {0});

@@ -95,6 +95,88 @@ TEST(Executor, SpawnedTasksCountedUntilCompletion) {
   EXPECT_EQ(exec.live_tasks(), 0u);
 }
 
+TEST(Executor, FarFutureEventsRunInTimeOrder) {
+  Executor exec;
+  std::vector<int> order;
+  // All far beyond the near window from time 0; reverse insertion order.
+  exec.CallAt(50000, [&] { order.push_back(3); });
+  exec.CallAt(5000, [&] { order.push_back(2); });
+  exec.CallAt(5, [&] { order.push_back(1); });
+  EXPECT_EQ(exec.Run(), 50000u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Executor, FarFutureTiesRunInInsertionOrder) {
+  Executor exec;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    exec.CallAt(100000, [&order, i] { order.push_back(i); });
+  }
+  exec.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Executor, MigratedFarEventPrecedesLaterSameCyclePush) {
+  Executor exec;
+  std::vector<char> order;
+  // A targets cycle 1500 from time 0 (far tier). The cycle-600 event then
+  // schedules B for the same cycle 1500 (near tier by then). A was inserted
+  // first and must dispatch first.
+  exec.CallAt(1500, [&order] { order.push_back('A'); });
+  exec.CallAt(600, [&exec, &order] {
+    exec.CallAt(1500, [&order] { order.push_back('B'); });
+  });
+  exec.Run();
+  EXPECT_EQ(order, (std::vector<char>{'A', 'B'}));
+}
+
+TEST(Executor, DelayBeyondNearWindowResumesExactly) {
+  Executor exec;
+  const Cycles far = Executor::kNearWindow * 5 + 3;
+  Cycles resumed = 0;
+  exec.Spawn([](Executor& e, Cycles d, Cycles& out) -> Task<> {
+    co_await e.Delay(d);
+    out = e.now();
+  }(exec, far, resumed));
+  exec.Run();
+  EXPECT_EQ(resumed, far);
+}
+
+TEST(Executor, RunUntilAcrossEmptyWindows) {
+  Executor exec;
+  int fired = 0;
+  exec.CallAt(Executor::kNearWindow * 3, [&] { ++fired; });
+  EXPECT_TRUE(exec.RunUntil(10));  // nothing due yet; the event survives
+  EXPECT_EQ(exec.now(), 10u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(exec.RunUntil(Executor::kNearWindow * 4));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(exec.now(), Executor::kNearWindow * 4);
+}
+
+// Event-count regression: the executor dispatches exactly one event per
+// resumption — K tasks each awaiting n delays is exactly K*n events, with
+// no hidden polling, re-queuing, or bookkeeping events. A queue rewrite
+// that changes this count changes the engine's cost model; update the
+// arithmetic here only with a written justification.
+TEST(Executor, EventCountPinnedForDelayGrid) {
+  Executor exec;
+  constexpr std::uint64_t kTasks = 7;
+  constexpr std::uint64_t kDelays = 50;
+  for (std::uint64_t t = 0; t < kTasks; ++t) {
+    exec.Spawn([](Executor& e, std::uint64_t id, std::uint64_t n) -> Task<> {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        // Mixed horizons: some delays stay near, some cross into the far
+        // tier; the count must not depend on which tier served them.
+        co_await e.Delay(1 + (id * 37 + i * 211) % (2 * Executor::kNearWindow));
+      }
+    }(exec, t, kDelays));
+  }
+  exec.Run();
+  EXPECT_EQ(exec.events_dispatched(), kTasks * kDelays);
+  EXPECT_EQ(exec.live_tasks(), 0u);
+}
+
 TEST(Executor, TaskExceptionPropagatesToAwaiter) {
   Executor exec;
   bool caught = false;
