@@ -104,8 +104,9 @@ double RouteOrder(const char* mode) {
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
   bench::PrintHeader("Ablation: URPC pipelining window (8x4 AMD, one-hop pair)");
   bench::SeriesTable window("slots");
   window.AddSeries("posted msgs/kcycle");

@@ -5,10 +5,99 @@
 #define MK_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "trace/export.h"
+#include "trace/trace.h"
+
 namespace mk::bench {
+
+// --trace=<file> / --trace-categories=<list> / --trace-capacity=<n> flags,
+// shared by every paper bench. A bench constructs a TraceSession from the
+// parsed flags; if tracing was requested it installs a Tracer for the
+// bench's lifetime and writes the Perfetto JSON (plus a text summary on
+// stdout) at scope exit.
+struct TraceFlags {
+  std::string path;                                    // empty = tracing off
+  std::uint32_t mask = trace::kAllCategories;
+  std::size_t capacity = trace::Tracer::kDefaultCapacity;
+};
+
+// Consumes the trace flags from argv (compacting it) so benches keep their
+// own argument handling. Exits with a usage message on a malformed flag.
+inline TraceFlags ParseTraceFlags(int& argc, char** argv) {
+  TraceFlags flags;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      flags.path = arg + 8;
+    } else if (std::strncmp(arg, "--trace-categories=", 19) == 0) {
+      if (!trace::ParseCategoryList(arg + 19, &flags.mask)) {
+        std::fprintf(stderr, "unknown trace category in '%s' (known:", arg + 19);
+        for (std::size_t c = 0; c < trace::kNumCategories; ++c) {
+          std::fprintf(stderr, " %s",
+                       trace::CategoryName(static_cast<trace::Category>(c)));
+        }
+        std::fprintf(stderr, ")\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--trace-capacity=", 17) == 0) {
+      flags.capacity = static_cast<std::size_t>(std::strtoull(arg + 17, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return flags;
+}
+
+// RAII trace scope for a bench run. Inactive (and free) when no --trace flag
+// was given.
+class TraceSession {
+ public:
+  explicit TraceSession(const TraceFlags& flags) : path_(flags.path) {
+    if (!path_.empty()) {
+      tracer_ = std::make_unique<trace::Tracer>(flags.capacity, flags.mask);
+      tracer_->Install();
+    }
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  ~TraceSession() {
+    if (tracer_ == nullptr) {
+      return;
+    }
+    tracer_->Uninstall();
+    if (trace::WritePerfettoJson(*tracer_, path_)) {
+      std::printf("\ntrace written to %s (open in ui.perfetto.dev)\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", path_.c_str());
+    }
+    trace::PrintSummary(*tracer_, std::cout);
+  }
+
+  bool active() const { return tracer_ != nullptr; }
+  trace::Tracer* tracer() { return tracer_.get(); }
+
+  // Labels the records that follow (each label becomes its own Perfetto
+  // process group, keeping re-run executors' restarted clocks apart).
+  void BeginRun(const std::string& name) {
+    if (tracer_ != nullptr) {
+      tracer_->BeginRun(name);
+    }
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<trace::Tracer> tracer_;
+};
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

@@ -130,8 +130,9 @@ std::pair<double, double> RunMsg(int cores, int lines) {
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
   bench::PrintHeader(
       "Figure 3: shared-memory vs message-passing update cost (4x4-core AMD, cycles/op)");
   bench::SeriesTable table("cores");

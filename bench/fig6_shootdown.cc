@@ -1,8 +1,15 @@
 // Figure 6: comparison of TLB shootdown protocols on the 8x4-core AMD
 // system - the cost of the raw inter-core messaging mechanisms (without TLB
 // invalidation) for Broadcast, Unicast, Multicast, and NUMA-Aware Multicast.
+//
+// With --trace=<file> the sweep is replaced by one labeled run per protocol
+// at 32 cores (TLB invalidation enabled, so the trace carries the shootdown
+// wave's TLB flow arrows) plus an "ipi-wakeup" run that forces the
+// poll-then-block path, giving the trace cross-core IPI flows. The per-core
+// op-arrival table printed alongside is the wave shape the paper describes.
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bench_util.h"
@@ -13,6 +20,7 @@
 #include "sim/executor.h"
 #include "sim/stats.h"
 #include "skb/skb.h"
+#include "urpc/channel.h"
 
 namespace mk {
 namespace {
@@ -23,11 +31,27 @@ using monitor::Protocol;
 using sim::Cycles;
 using sim::Task;
 
+constexpr Protocol kProtocols[] = {Protocol::kBroadcast, Protocol::kUnicast,
+                                   Protocol::kMulticast, Protocol::kNumaMulticast};
+
+struct System {
+  System() : machine(exec, hw::Amd8x4()), drivers(CpuDriver::BootAll(machine)),
+             skb(machine) {
+    skb.PopulateFromHardware();
+    exec.Spawn(skb.MeasureUrpcLatencies());
+    exec.Run();  // boot-time measurement completes before the monitors start
+    sys.emplace(machine, skb, drivers);
+    sys->Boot();
+  }
+  sim::Executor exec;
+  hw::Machine machine;
+  std::vector<std::unique_ptr<CpuDriver>> drivers;
+  skb::Skb skb;
+  std::optional<monitor::MonitorSystem> sys;
+};
+
 Task<> Driver(monitor::MonitorSystem& sys, Protocol proto, int ncores, int iters,
-              sim::RunningStat& stat) {
-  OpFlags flags;
-  flags.raw = true;       // raw messaging mechanism...
-  flags.skip_tlb = true;  // ...without TLB invalidation
+              OpFlags flags, sim::RunningStat& stat) {
   for (int i = 0; i < iters; ++i) {
     auto result = co_await sys.on(0).GlobalInvalidate(
         0x400000, 1, proto, flags, static_cast<std::uint16_t>(ncores));
@@ -39,37 +63,107 @@ Task<> Driver(monitor::MonitorSystem& sys, Protocol proto, int ncores, int iters
 }
 
 double Measure(Protocol proto, int ncores) {
-  sim::Executor exec;
-  hw::Machine machine(exec, hw::Amd8x4());
-  auto drivers = CpuDriver::BootAll(machine);
-  skb::Skb skb(machine);
-  skb.PopulateFromHardware();
-  exec.Spawn(skb.MeasureUrpcLatencies());
-  exec.Run();  // boot-time measurement completes before the monitors start
-  monitor::MonitorSystem sys(machine, skb, drivers);
-  sys.Boot();
+  System s;
   sim::RunningStat stat;
-  exec.Spawn(Driver(sys, proto, ncores, 12, stat));
-  exec.Run();
+  OpFlags flags;
+  flags.raw = true;       // raw messaging mechanism...
+  flags.skip_tlb = true;  // ...without TLB invalidation
+  s.exec.Spawn(Driver(*s.sys, proto, ncores, 12, flags, stat));
+  s.exec.Run();
   return stat.mean();
+}
+
+// Traced run of one protocol: full shootdowns (TLB invalidation on) so the
+// trace shows the wave; prints per-core first-op-arrival offsets.
+void TraceProtocol(bench::TraceSession& session, Protocol proto, int ncores) {
+  session.BeginRun(monitor::ProtocolName(proto));
+  System s;
+  sim::RunningStat stat;
+  OpFlags flags;  // defaults: demux charged, TLB invalidation performed
+  s.exec.Spawn(Driver(*s.sys, proto, ncores, 3, flags, stat));
+  s.exec.Run();
+
+  // The wave: first kMonHandleOp arrival per core, relative to the earliest.
+  std::vector<Cycles> first(static_cast<std::size_t>(ncores), 0);
+  std::vector<bool> seen(static_cast<std::size_t>(ncores), false);
+  for (const trace::Record& r : session.tracer()->Snapshot()) {
+    if (r.run != session.tracer()->current_run() ||
+        r.event != trace::EventId::kMonHandleOp || r.core >= ncores || seen[r.core]) {
+      continue;
+    }
+    seen[r.core] = true;
+    first[r.core] = r.cycle;
+  }
+  Cycles base = 0;
+  for (int c = 0; c < ncores; ++c) {
+    if (seen[c] && (base == 0 || first[c] < base)) {
+      base = first[c];
+    }
+  }
+  std::printf("%-22s mean %.0f cycles; op arrival offsets (cycles):\n",
+              monitor::ProtocolName(proto), stat.mean());
+  for (int c = 0; c < ncores; ++c) {
+    std::printf("  core %2d: %8llu\n", c,
+                seen[c] ? static_cast<unsigned long long>(first[c] - base) : 0ull);
+  }
+}
+
+// Forces the poll-then-block receive path so the trace contains wake-up IPI
+// flows (the monitors' select loops never block, so the protocol runs above
+// produce none).
+Task<> IpiWakeupSender(System& s, urpc::Channel& ch, int msgs) {
+  for (int i = 0; i < msgs; ++i) {
+    co_await s.exec.Delay(30000);  // arrive well after the receiver blocked
+    co_await ch.Send(urpc::Pack(/*tag=*/1, i));
+  }
+}
+
+Task<> IpiWakeupReceiver(System& s, urpc::Channel& ch, int msgs) {
+  for (int i = 0; i < msgs; ++i) {
+    (void)co_await ch.RecvBlocking(*s.drivers[ch.receiver_core()],
+                                   *s.drivers[ch.sender_core()], /*poll_window=*/500);
+  }
+}
+
+void TraceIpiWakeups(bench::TraceSession& session) {
+  session.BeginRun("ipi-wakeup");
+  System s;
+  s.sys->Shutdown();  // only the channel pair below should run
+  urpc::Channel ch(s.machine, /*sender_core=*/0, /*receiver_core=*/12);
+  constexpr int kMsgs = 4;
+  s.exec.Spawn(IpiWakeupReceiver(s, ch, kMsgs));
+  s.exec.Spawn(IpiWakeupSender(s, ch, kMsgs));
+  s.exec.Run();
+  const hw::CoreCounters total = s.machine.counters().Total();
+  std::printf("ipi-wakeup run: %llu IPIs sent, %llu received\n",
+              static_cast<unsigned long long>(total.ipis_sent),
+              static_cast<unsigned long long>(total.ipis_received));
 }
 
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceFlags trace_flags = bench::ParseTraceFlags(argc, argv);
+  bench::TraceSession session(trace_flags);
+  if (session.active()) {
+    bench::PrintHeader("Figure 6 (traced): TLB shootdown waves at 32 cores");
+    for (Protocol p : kProtocols) {
+      TraceProtocol(session, p, 32);
+    }
+    TraceIpiWakeups(session);
+    return 0;
+  }
   bench::PrintHeader(
       "Figure 6: TLB shootdown protocols, raw messaging cost (8x4-core AMD, cycles)");
   bench::SeriesTable table("cores");
-  for (Protocol p : {Protocol::kBroadcast, Protocol::kUnicast, Protocol::kMulticast,
-                     Protocol::kNumaMulticast}) {
+  for (Protocol p : kProtocols) {
     table.AddSeries(monitor::ProtocolName(p));
   }
   for (int cores = 2; cores <= 32; cores += 2) {
     std::vector<double> row;
-    for (Protocol p : {Protocol::kBroadcast, Protocol::kUnicast, Protocol::kMulticast,
-                       Protocol::kNumaMulticast}) {
+    for (Protocol p : kProtocols) {
       row.push_back(Measure(p, cores));
     }
     table.AddRow(cores, std::move(row));

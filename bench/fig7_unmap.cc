@@ -100,8 +100,9 @@ double MeasureIpi(baseline::IpiShootdown::Flavor flavor, int ncores) {
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
   bench::PrintHeader("Figure 7: end-to-end unmap latency (8x4-core AMD, cycles)");
   bench::SeriesTable table("cores");
   table.AddSeries("Windows");

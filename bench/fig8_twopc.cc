@@ -93,8 +93,19 @@ double MeasurePipelined(int ncores) {
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceFlags trace_flags = bench::ParseTraceFlags(argc, argv);
+  bench::TraceSession session(trace_flags);
+  if (session.active()) {
+    // Traced mode: one labeled run per shape at 32 cores, not the sweep.
+    bench::PrintHeader("Figure 8 (traced): two-phase commit at 32 cores");
+    session.BeginRun("single-op");
+    std::printf("single-op latency: %.0f cycles\n", MeasureSingle(32));
+    session.BeginRun("pipelined");
+    std::printf("pipelined per-op cost: %.0f cycles\n", MeasurePipelined(32));
+    return 0;
+  }
   bench::PrintHeader("Figure 8: two-phase commit (8x4-core AMD, cycles per operation)");
   bench::SeriesTable table("cores");
   table.AddSeries("single-op latency");

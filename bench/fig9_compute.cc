@@ -59,8 +59,9 @@ double Measure(const apps::WorkloadEntry& w, int threads, SyncFlavor flavor) {
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
   bench::PrintHeader(
       "Figure 9: compute-bound workloads (4x4-core AMD, total cycles; lower is better)");
   for (const auto& w : apps::AllWorkloads()) {

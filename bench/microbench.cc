@@ -103,6 +103,51 @@ void BM_ExecutorSteadyStateAllocs(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecutorSteadyStateAllocs);
 
+// As above, but with a tracer installed and every category enabled: the
+// trace hot path must also be allocation-free once the per-core rings exist.
+void BM_ExecutorSteadyStateAllocsTraced(benchmark::State& state) {
+  trace::Tracer tracer(/*capacity_per_core=*/1 << 12);
+  tracer.Install();
+  sim::Executor exec;
+  int sink = 0;
+  // Warm-up: grow the node freelist and allocate the executor's trace ring.
+  for (int i = 0; i < 4000; ++i) {
+    exec.CallAt(static_cast<Cycles>(i % 2000), [&sink] { ++sink; });
+  }
+  exec.Run();
+  const std::uint64_t events_before = exec.events_dispatched();
+  const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    const Cycles base = exec.now();
+    for (int i = 0; i < 1000; ++i) {
+      exec.CallAt(base + 1 + static_cast<Cycles>(i % 700), [&sink] { ++sink; });
+    }
+    exec.Run();
+  }
+  const std::uint64_t events = exec.events_dispatched() - events_before;
+  const std::uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  tracer.Uninstall();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["allocs_per_1k_events"] =
+      1000.0 * static_cast<double>(allocs) / static_cast<double>(events ? events : 1);
+}
+BENCHMARK(BM_ExecutorSteadyStateAllocsTraced);
+
+// Raw cost of one trace point with an active tracer (mask test + 40-byte
+// ring store).
+void BM_TraceEmit(benchmark::State& state) {
+  trace::Tracer tracer(/*capacity_per_core=*/1 << 12);
+  tracer.Install();
+  Cycles cycle = 0;
+  for (auto _ : state) {
+    trace::Emit<trace::Category::kExec>(trace::EventId::kExecCycle, ++cycle, 0, 1);
+  }
+  tracer.Uninstall();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmit);
+
 Task<> DelayLoop(sim::Executor& exec, int n) {
   for (int i = 0; i < n; ++i) {
     co_await exec.Delay(10);

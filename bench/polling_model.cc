@@ -70,8 +70,9 @@ Task<> BlockingReceiver(hw::Machine& m, urpc::Channel& ch, CpuDriver& local, Cpu
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
   sim::Executor probe_exec;
   hw::Machine probe(probe_exec, hw::Amd8x4());
   const Cycles kC = probe.cost().trap + probe.cost().context_switch + probe.cost().dispatch +

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Builds every benchmark and regenerates bench_output.txt — the transcript
+# EXPERIMENTS.md quotes. The paper benches are deterministic (simulated
+# cycles), so the transcript is reproducible bit-for-bit; microbench measures
+# host wall-time and is appended last, clearly separated.
+#
+#   bench/run_all.sh              # full transcript into bench_output.txt
+#   SKIP_MICROBENCH=1 bench/run_all.sh   # deterministic part only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j
+
+OUT=bench_output.txt
+: > "$OUT"
+
+# Deterministic paper benches, in roughly the paper's order.
+BENCHES=(
+  table1_lrpc
+  table2_urpc
+  table3_ipc
+  table4_loopback
+  fig3_shm_vs_msg
+  fig6_shootdown
+  fig7_unmap
+  fig8_twopc
+  fig9_compute
+  sec54_netperf
+  sec54_webserver
+  polling_model
+  ablation_urpc
+)
+for b in "${BENCHES[@]}"; do
+  echo "--- $b" | tee -a "$OUT"
+  ./build/bench/"$b" | tee -a "$OUT"
+done
+
+if [[ "${SKIP_MICROBENCH:-0}" != "1" ]]; then
+  echo "--- microbench (host wall-time; not deterministic)" | tee -a "$OUT"
+  ./build/bench/microbench | tee -a "$OUT"
+fi
+
+echo "transcript written to $OUT"

@@ -149,8 +149,9 @@ double RunEcho(double offered_mbps) {
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
   bench::PrintHeader(
       "Section 5.4: UDP echo throughput over e1000 (2x4-core Intel, 1000-byte payloads)");
   bench::SeriesTable table("offered Mb/s");

@@ -206,8 +206,9 @@ double RunScenario(Scenario sc) {
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
   bench::PrintHeader("Section 5.4: web server and relational database (2x2-core AMD)");
   double bf_static = RunScenario({false, false});
   double lx_static = RunScenario({true, false});

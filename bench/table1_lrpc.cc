@@ -30,8 +30,9 @@ Task<> Caller(sim::Executor& exec, CpuDriver& drv, kernel::EndpointId ep, int it
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
   bench::PrintHeader("Table 1: LRPC one-way latency");
   std::printf("%-20s %10s %6s %8s   %s\n", "System", "cycles", "(sd)", "ns", "paper");
   struct Row {

@@ -92,8 +92,9 @@ struct Row {
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
   // Receiver cores chosen per platform so the pair has the row's cache
   // relationship (see hw/platform.cc topologies).
   std::vector<Row> rows = {

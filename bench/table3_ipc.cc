@@ -56,8 +56,9 @@ Task<> L4Stream(baseline::L4Ipc& ipc, int n) {
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
   bench::PrintHeader("Table 3: messaging costs on 2x2-core AMD");
 
   // URPC latency: same-die pair (cores 0 and 1), warmed channel.

@@ -128,8 +128,9 @@ Results RunLinux() {
 }  // namespace
 }  // namespace mk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
   bench::PrintHeader("Table 4: IP loopback on 2x2-core AMD (1000-byte UDP payloads)");
   Results bf = RunBarrelfish();
   Results lx = RunLinux();

@@ -202,6 +202,12 @@ Cycles CoherentMemory::ReadLine(int core, Addr line_addr, bool prefetched) {
   lat += ContentionDelay(line_addr, core, src, l.home, /*is_write=*/false);
   AccountTraffic(core, src, l.home, from_memory);
   l.sharers |= Bit(core);
+  trace::Emit<trace::Category::kCoherence>(trace::EventId::kCohMiss, exec_.now(), core,
+                                           line_addr, lat);
+  if (!from_memory) {
+    trace::Emit<trace::Category::kCoherence>(trace::EventId::kCohC2C, exec_.now(), core,
+                                             line_addr, static_cast<std::uint64_t>(src));
+  }
   return lat;
 }
 
@@ -271,6 +277,12 @@ Cycles CoherentMemory::WriteLine(int core, Addr line_addr) {
   }
   l.sharers = Bit(core);
   l.owner = core;
+  trace::Emit<trace::Category::kCoherence>(trace::EventId::kCohMiss, exec_.now(), core,
+                                           line_addr, lat);
+  if (need_data && !from_memory) {
+    trace::Emit<trace::Category::kCoherence>(trace::EventId::kCohC2C, exec_.now(), core,
+                                             line_addr, static_cast<std::uint64_t>(src));
+  }
   return lat;
 }
 

@@ -3,10 +3,28 @@
 #ifndef MK_HW_COUNTERS_H_
 #define MK_HW_COUNTERS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace mk::hw {
+
+// The single source of truth for CoreCounters' fields. operator-, Total, and
+// the field visitors all expand from this list, so adding a counter means
+// adding exactly one line here.
+#define MK_CORE_COUNTER_FIELDS(V) \
+  V(loads)                        \
+  V(stores)                       \
+  V(cache_hits)                   \
+  V(cache_misses)                 \
+  V(c2c_transfers)                \
+  V(dram_fetches)                 \
+  V(invalidations_recv)           \
+  V(tlb_invalidations)            \
+  V(tlb_misses)                   \
+  V(traps)                        \
+  V(ipis_sent)                    \
+  V(ipis_received)
 
 struct CoreCounters {
   std::uint64_t loads = 0;
@@ -22,23 +40,38 @@ struct CoreCounters {
   std::uint64_t ipis_sent = 0;
   std::uint64_t ipis_received = 0;
 
+  // Invokes fn(name, value) for every counter field.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+#define MK_VISIT(field) fn(#field, field);
+    MK_CORE_COUNTER_FIELDS(MK_VISIT)
+#undef MK_VISIT
+  }
+
+  // Invokes fn(this_field&, other_field) for every pair of counter fields.
+  template <typename Fn>
+  void ZipFields(const CoreCounters& other, Fn&& fn) {
+#define MK_VISIT(field) fn(field, other.field);
+    MK_CORE_COUNTER_FIELDS(MK_VISIT)
+#undef MK_VISIT
+  }
+
   CoreCounters operator-(const CoreCounters& o) const {
     CoreCounters r = *this;
-    r.loads -= o.loads;
-    r.stores -= o.stores;
-    r.cache_hits -= o.cache_hits;
-    r.cache_misses -= o.cache_misses;
-    r.c2c_transfers -= o.c2c_transfers;
-    r.dram_fetches -= o.dram_fetches;
-    r.invalidations_recv -= o.invalidations_recv;
-    r.tlb_invalidations -= o.tlb_invalidations;
-    r.tlb_misses -= o.tlb_misses;
-    r.traps -= o.traps;
-    r.ipis_sent -= o.ipis_sent;
-    r.ipis_received -= o.ipis_received;
+    r.ZipFields(o, [](std::uint64_t& mine, std::uint64_t theirs) { mine -= theirs; });
     return r;
   }
 };
+
+namespace internal {
+#define MK_VISIT(field) +1
+inline constexpr std::size_t kCoreCounterFields = MK_CORE_COUNTER_FIELDS(MK_VISIT);
+#undef MK_VISIT
+}  // namespace internal
+
+// A field added to the struct but not the X-macro (or vice versa) trips this.
+static_assert(internal::kCoreCounterFields * sizeof(std::uint64_t) == sizeof(CoreCounters),
+              "MK_CORE_COUNTER_FIELDS is out of sync with CoreCounters");
 
 class PerfCounters {
  public:
@@ -59,18 +92,7 @@ class PerfCounters {
   CoreCounters Total() const {
     CoreCounters t;
     for (const auto& c : cores_) {
-      t.loads += c.loads;
-      t.stores += c.stores;
-      t.cache_hits += c.cache_hits;
-      t.cache_misses += c.cache_misses;
-      t.c2c_transfers += c.c2c_transfers;
-      t.dram_fetches += c.dram_fetches;
-      t.invalidations_recv += c.invalidations_recv;
-      t.tlb_invalidations += c.tlb_invalidations;
-      t.tlb_misses += c.tlb_misses;
-      t.traps += c.traps;
-      t.ipis_sent += c.ipis_sent;
-      t.ipis_received += c.ipis_received;
+      t.ZipFields(c, [](std::uint64_t& mine, std::uint64_t theirs) { mine += theirs; });
     }
     return t;
   }

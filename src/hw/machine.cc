@@ -7,8 +7,19 @@ sim::Task<> IpiFabric::Send(int from, int to, int vector) {
   const CostBook& c = spec_.cost;
   int hops = topo_.Hops(topo_.PackageOf(from), topo_.PackageOf(to));
   sim::Cycles wire = c.ipi_wire + c.cross_rt_per_hop * static_cast<sim::Cycles>(hops);
-  auto arrive = [this, to, vector] {
+  // Flow serial advances unconditionally so runs are identical with tracing
+  // on or off.
+  const std::uint64_t flow = trace::kFlowIpi | ++next_flow_;
+  trace::Emit<trace::Category::kIpi>(trace::EventId::kIpiSend, exec_.now(), from,
+                                     static_cast<std::uint64_t>(to),
+                                     static_cast<std::uint64_t>(vector), flow,
+                                     trace::Phase::kFlowOut);
+  auto arrive = [this, from, to, vector, flow] {
     ++counters_.core(to).ipis_received;
+    trace::Emit<trace::Category::kIpi>(trace::EventId::kIpiRecv, exec_.now(), to,
+                                       static_cast<std::uint64_t>(from),
+                                       static_cast<std::uint64_t>(vector), flow,
+                                       trace::Phase::kFlowIn);
     if (handlers_[to]) {
       handlers_[to](vector);
     }
@@ -30,7 +41,7 @@ Machine::Machine(sim::Executor& exec, PlatformSpec spec)
       core_busy_(topo_.num_cores()) {
   tlbs_.reserve(topo_.num_cores());
   for (int c = 0; c < topo_.num_cores(); ++c) {
-    tlbs_.push_back(std::make_unique<Tlb>(exec_, spec_.cost, counters_.core(c)));
+    tlbs_.push_back(std::make_unique<Tlb>(exec_, spec_.cost, counters_.core(c), c));
   }
 }
 
@@ -45,9 +56,17 @@ sim::Task<> Machine::Compute(int core, sim::Cycles cycles) {
 
 sim::Task<> Machine::Trap(int core) {
   ++counters_.core(core).traps;
+  const sim::Cycles start = exec_.now();
   co_await Compute(core, spec_.cost.trap);
+  trace::EmitSpan<trace::Category::kKernel>(trace::EventId::kTrap, start, exec_.now(),
+                                            core);
 }
 
-sim::Task<> Machine::Syscall(int core) { co_await Compute(core, spec_.cost.syscall); }
+sim::Task<> Machine::Syscall(int core) {
+  const sim::Cycles start = exec_.now();
+  co_await Compute(core, spec_.cost.syscall);
+  trace::EmitSpan<trace::Category::kKernel>(trace::EventId::kSyscall, start, exec_.now(),
+                                            core);
+}
 
 }  // namespace mk::hw

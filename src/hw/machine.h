@@ -44,6 +44,7 @@ class IpiFabric {
   const Topology& topo_;
   PerfCounters& counters_;
   std::vector<Handler> handlers_;
+  std::uint64_t next_flow_ = 0;  // trace flow serial; advances whether or not tracing is on
 };
 
 class Machine {

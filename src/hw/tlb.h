@@ -25,8 +25,8 @@ struct TlbEntry {
 
 class Tlb {
  public:
-  Tlb(sim::Executor& exec, const CostBook& cost, CoreCounters& counters)
-      : exec_(exec), cost_(cost), counters_(counters) {}
+  Tlb(sim::Executor& exec, const CostBook& cost, CoreCounters& counters, int core)
+      : exec_(exec), cost_(cost), counters_(counters), core_(core) {}
 
   // Fills an entry (no cost: filled as part of a charged page-table walk).
   void Insert(std::uint64_t vaddr, TlbEntry entry) { entries_[PageBase(vaddr)] = entry; }
@@ -48,6 +48,8 @@ class Tlb {
   sim::Task<> Invalidate(std::uint64_t vaddr) {
     entries_.erase(PageBase(vaddr));
     ++counters_.tlb_invalidations;
+    trace::Emit<trace::Category::kTlb>(trace::EventId::kTlbInvalidate, exec_.now(),
+                                       core_, vaddr);
     co_await exec_.Delay(cost_.tlb_invalidate);
   }
 
@@ -56,19 +58,27 @@ class Tlb {
   void InvalidateNoCost(std::uint64_t vaddr) {
     entries_.erase(PageBase(vaddr));
     ++counters_.tlb_invalidations;
+    trace::Emit<trace::Category::kTlb>(trace::EventId::kTlbInvalidate, exec_.now(),
+                                       core_, vaddr);
   }
 
   sim::Task<> FlushAll() {
+    const std::uint64_t dropped = entries_.size();
     entries_.clear();
     ++counters_.tlb_invalidations;
+    trace::Emit<trace::Category::kTlb>(trace::EventId::kTlbFlush, exec_.now(), core_,
+                                       dropped);
     co_await exec_.Delay(cost_.tlb_flush);
   }
 
   // Flush whose cost is folded into another charged operation (e.g. an
   // address-space switch whose constant already includes it).
   void FlushAllNoCost() {
+    const std::uint64_t dropped = entries_.size();
     entries_.clear();
     ++counters_.tlb_invalidations;
+    trace::Emit<trace::Category::kTlb>(trace::EventId::kTlbFlush, exec_.now(), core_,
+                                       dropped);
   }
 
   std::size_t size() const { return entries_.size(); }
@@ -77,6 +87,7 @@ class Tlb {
   sim::Executor& exec_;
   const CostBook& cost_;
   CoreCounters& counters_;
+  int core_;
   std::unordered_map<std::uint64_t, TlbEntry> entries_;
 };
 

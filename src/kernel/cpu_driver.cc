@@ -29,7 +29,11 @@ Task<> CpuDriver::LrpcSend(EndpointId ep, LrpcMsg msg) {
   auto deliver = [this, ep, msg, deliver_cost] {
     machine_.exec().Spawn([](CpuDriver* self, EndpointId e, LrpcMsg m,
                              Cycles cost) -> Task<> {
+      const Cycles start = self->machine_.exec().now();
       co_await self->machine_.Compute(self->core_, cost);
+      trace::EmitSpan<trace::Category::kKernel>(trace::EventId::kLrpcDeliver, start,
+                                                self->machine_.exec().now(), self->core_,
+                                                static_cast<std::uint64_t>(e));
       ++self->messages_delivered_;
       co_await self->endpoints_[e].handler(m);
     }(this, ep, msg, deliver_cost));
@@ -47,8 +51,12 @@ Task<> CpuDriver::LrpcCall(EndpointId ep, LrpcMsg msg) {
   const hw::CostBook& c = machine_.cost();
   // One-way user-to-user path: syscall entry, kernel dispatch of the target
   // dispatcher, scheduler activation + user-level message dispatch.
+  const Cycles start = machine_.exec().now();
   co_await machine_.Syscall(core_);
   co_await machine_.Compute(core_, c.dispatch + c.lrpc_user_path);
+  trace::EmitSpan<trace::Category::kKernel>(trace::EventId::kLrpcCall, start,
+                                            machine_.exec().now(), core_,
+                                            static_cast<std::uint64_t>(ep));
   ++messages_delivered_;
   co_await endpoints_[ep].handler(msg);
 }
@@ -82,8 +90,12 @@ void CpuDriver::HandleIpi(int vector) {
 Task<> CpuDriver::DeliverWakeup(WakeToken token) {
   // The receive side of the paper's wake-up constant C: trap entry plus a
   // context switch back to the blocked dispatcher.
+  const Cycles start = machine_.exec().now();
   co_await machine_.Trap(core_);
   co_await machine_.Compute(core_, machine_.cost().context_switch + machine_.cost().dispatch);
+  trace::EmitSpan<trace::Category::kKernel>(trace::EventId::kUpcall, start,
+                                            machine_.exec().now(), core_,
+                                            static_cast<std::uint64_t>(token));
   auto it = blocked_.find(token);
   if (it != blocked_.end()) {
     sim::Event* ev = it->second;

@@ -3,6 +3,17 @@
 #include <algorithm>
 
 namespace mk::monitor {
+namespace {
+
+// Shootdown-wave flow id: one arrow per (op, replica core). op_ids embed the
+// initiator core in the top 16 bits, so the low 16 of the serial part plus
+// the source core keep concurrent initiators' waves distinct.
+std::uint64_t ShootdownFlow(std::uint64_t op_id, int dest_core) {
+  return trace::kFlowShootdown | ((op_id & 0xffff'ffff) << 16) |
+         ((op_id >> 48) << 8) | static_cast<std::uint64_t>(dest_core);
+}
+
+}  // namespace
 
 const char* ProtocolName(Protocol p) {
   switch (p) {
@@ -36,21 +47,39 @@ Task<bool> Monitor::ApplyAction(const OpMsg& msg) {
         for (std::uint32_t i = 0; i < msg.pages; ++i) {
           co_await m.tlb(core_).Invalidate(msg.vaddr + i * hw::kPageSize);
         }
+        if (msg.source != core_) {
+          // Terminates the shootdown-wave flow the initiator originated in
+          // RunCollective (one arrow per replica core).
+          trace::Emit<trace::Category::kTlb>(trace::EventId::kTlbShootdown,
+                                             m.exec().now(), core_, msg.vaddr, 0,
+                                             ShootdownFlow(msg.op_id, core_),
+                                             trace::Phase::kFlowIn);
+        }
       }
       co_return true;
-    case OpKind::kPrepare:
-      co_return caps_.Prepare(ToCapOp(msg)) == caps::CapErr::kOk;
+    case OpKind::kPrepare: {
+      const bool ok = caps_.Prepare(ToCapOp(msg)) == caps::CapErr::kOk;
+      trace::Emit<trace::Category::kMonitor>(trace::EventId::kCapPrepare, m.exec().now(),
+                                             core_, msg.op_id, ok ? 1 : 0);
+      co_return ok;
+    }
     case OpKind::kCommit:
       committed_children_[msg.op_id] = caps_.Commit(msg.op_id);
+      trace::Emit<trace::Category::kMonitor>(trace::EventId::kCapCommit, m.exec().now(),
+                                             core_, msg.op_id);
       co_return true;
     case OpKind::kAbort:
       caps_.Abort(msg.op_id);
+      trace::Emit<trace::Category::kMonitor>(trace::EventId::kCapAbort, m.exec().now(),
+                                             core_, msg.op_id);
       co_return true;
     case OpKind::kCapSend: {
       caps::Capability cap;
       cap.type = static_cast<caps::CapType>(msg.cap_new_type);
       cap.base = msg.vaddr;
       cap.bytes = msg.cap_child_bytes;
+      trace::Emit<trace::Category::kMonitor>(trace::EventId::kCapTransfer, m.exec().now(),
+                                             core_, msg.op_id);
       co_return caps_.InsertRemote(cap).err == caps::CapErr::kOk;
     }
     case OpKind::kPing:
@@ -94,6 +123,9 @@ Task<> Monitor::SendAck(int to, std::uint64_t op_id, bool vote, bool raw) {
 Task<> Monitor::HandleOp(OpMsg msg, int from) {
   ++messages_handled_;
   hw::Machine& m = sys_.machine();
+  trace::Emit<trace::Category::kMonitor>(trace::EventId::kMonHandleOp, m.exec().now(),
+                                         core_, msg.op_id,
+                                         static_cast<std::uint64_t>(msg.kind));
   if (!msg.raw()) {
     co_await m.Compute(core_, m.cost().msg_demux);
   }
@@ -211,6 +243,21 @@ Task<Monitor::CollectiveResult> Monitor::RunCollective(OpMsg msg) {
   // The initiator applies the operation to its own replica first.
   bool local_vote = co_await ApplyAction(msg);
 
+  // Originate the shootdown-wave flows: one arrow from the initiator to each
+  // replica that will invalidate (the kFlowIn ends land in ApplyAction).
+  if (msg.kind == OpKind::kInvalidate && !msg.skip_tlb() &&
+      trace::Enabled<trace::Category::kTlb>()) {
+    for (int c = 0; c < limit; ++c) {
+      if (c != core_ && sys_.IsOnline(c)) {
+        trace::Emit<trace::Category::kTlb>(trace::EventId::kTlbShootdown, m.exec().now(),
+                                           core_, msg.vaddr,
+                                           static_cast<std::uint64_t>(c),
+                                           ShootdownFlow(msg.op_id, c),
+                                           trace::Phase::kFlowOut);
+      }
+    }
+  }
+
   // Build the send plan: (destination, channel NUMA node).
   std::vector<std::pair<int, int>> sends;
   if (msg.proto == Protocol::kUnicast || msg.proto == Protocol::kBroadcast) {
@@ -236,6 +283,8 @@ Task<Monitor::CollectiveResult> Monitor::RunCollective(OpMsg msg) {
   }
 
   if (sends.empty()) {
+    trace::EmitSpan<trace::Category::kMonitor>(trace::EventId::kMonCollective, t0,
+                                               m.exec().now(), core_, msg.op_id);
     co_return CollectiveResult{m.exec().now() - t0, local_vote};
   }
 
@@ -268,6 +317,8 @@ Task<Monitor::CollectiveResult> Monitor::RunCollective(OpMsg msg) {
   result.latency = m.exec().now() - t0;
   result.all_yes = ops_[msg.op_id].vote;
   ops_.erase(msg.op_id);
+  trace::EmitSpan<trace::Category::kMonitor>(trace::EventId::kMonCollective, t0,
+                                             m.exec().now(), core_, msg.op_id);
   co_return result;
 }
 
@@ -331,9 +382,18 @@ Task<Monitor::TwoPcResult> Monitor::TwoPhase(OpMsg msg) {
   constexpr int kMaxAttempts = 12;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
     msg.kind = OpKind::kPrepare;
+    const Cycles prep_start = m.exec().now();
     CollectiveResult prepare = co_await RunCollective(msg);
+    trace::EmitSpan<trace::Category::kMonitor>(trace::EventId::kMon2pcPrepare, prep_start,
+                                               m.exec().now(), core_, msg.op_id);
     msg.kind = prepare.all_yes ? OpKind::kCommit : OpKind::kAbort;
+    const Cycles phase2_start = m.exec().now();
     (void)co_await RunCollective(msg);
+    trace::EmitSpan<trace::Category::kMonitor>(prepare.all_yes
+                                                   ? trace::EventId::kMon2pcCommit
+                                                   : trace::EventId::kMon2pcAbort,
+                                               phase2_start, m.exec().now(), core_,
+                                               msg.op_id);
     if (prepare.all_yes) {
       result.committed = true;
       break;

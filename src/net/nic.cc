@@ -5,6 +5,14 @@ namespace {
 
 constexpr std::uint64_t kBufBytes = 2048;  // one buffer per descriptor
 
+// Trace flow ids: RX frames pair InjectFromWire with DriverRxPop (both rings
+// are FIFOs, so matching enqueue/dequeue serials identify one frame); TX
+// frames pair DriverTxPush with the DMA completion.
+constexpr std::uint64_t kTxFlowBit = std::uint64_t{1} << 40;
+
+std::uint64_t RxFlow(std::uint64_t seq) { return trace::kFlowNet | seq; }
+std::uint64_t TxFlow(std::uint64_t seq) { return trace::kFlowNet | kTxFlowBit | seq; }
+
 }  // namespace
 
 SimNic::SimNic(hw::Machine& machine, Config config)
@@ -37,10 +45,14 @@ Task<> SimNic::InjectFromWire(Packet frame) {
   // DMA into the buffer + descriptor write-back (the NIC owns these stores;
   // they invalidate the driver's cached copies, which is charged when the
   // driver reads them in DriverRxPop).
-  std::uint64_t slot = rx_slot_++ % static_cast<std::uint64_t>(config_.rx_descs);
-  (void)slot;
+  std::uint64_t seq = rx_slot_++;
+  trace::Emit<trace::Category::kNet>(trace::EventId::kNetRxWire, machine_.exec().now(),
+                                     config_.irq_core, frame.size(), 0, RxFlow(seq),
+                                     trace::Phase::kFlowOut);
   rx_ring_.push_back(std::move(frame));
   if (irq_enabled_) {
+    trace::Emit<trace::Category::kNet>(trace::EventId::kNetIrq, machine_.exec().now(),
+                                       config_.irq_core);
     rx_irq_.Signal();
   }
 }
@@ -49,15 +61,20 @@ Task<std::optional<Packet>> SimNic::DriverRxPop(int core) {
   if (rx_ring_.empty()) {
     co_return std::nullopt;
   }
+  const Cycles start = machine_.exec().now();
   Packet frame = std::move(rx_ring_.front());
   rx_ring_.pop_front();
-  std::uint64_t slot = rx_pop_slot_++ % static_cast<std::uint64_t>(config_.rx_descs);
+  std::uint64_t seq = rx_pop_slot_++;
+  std::uint64_t slot = seq % static_cast<std::uint64_t>(config_.rx_descs);
   // Descriptor read (the NIC's write-back invalidated it) + payload read.
   co_await machine_.mem().Read(core, rx_desc_region_ + (slot / 4) * sim::kCacheLineBytes);
   co_await machine_.mem().Read(core, rx_buf_region_ + slot * kBufBytes, frame.size());
   // Descriptor recycle: hand the buffer back to the NIC.
   co_await machine_.mem().WritePosted(core,
                                       rx_desc_region_ + (slot / 4) * sim::kCacheLineBytes);
+  trace::EmitSpan<trace::Category::kNet>(trace::EventId::kNetRxPop, start,
+                                         machine_.exec().now(), core, frame.size(),
+                                         RxFlow(seq), trace::Phase::kSpanFlowIn);
   co_return frame;
 }
 
@@ -65,18 +82,26 @@ Task<bool> SimNic::DriverTxPush(int core, Packet frame) {
   if (tx_wire_.size() >= static_cast<std::size_t>(config_.tx_descs)) {
     co_return false;
   }
-  std::uint64_t slot = tx_slot_++ % static_cast<std::uint64_t>(config_.tx_descs);
+  const Cycles start = machine_.exec().now();
+  std::uint64_t seq = tx_slot_++;
+  std::uint64_t slot = seq % static_cast<std::uint64_t>(config_.tx_descs);
   // Payload copy into the DMA buffer + descriptor write + doorbell.
   co_await machine_.mem().WritePosted(core, tx_buf_region_ + slot * kBufBytes, frame.size());
   co_await machine_.mem().Write(core, tx_desc_region_ + (slot / 4) * sim::kCacheLineBytes);
-  machine_.exec().Spawn(DmaOut(std::move(frame)));
+  trace::EmitSpan<trace::Category::kNet>(trace::EventId::kNetTxPush, start,
+                                         machine_.exec().now(), core, frame.size(),
+                                         TxFlow(seq), trace::Phase::kSpanFlowOut);
+  machine_.exec().Spawn(DmaOut(std::move(frame), TxFlow(seq)));
   co_return true;
 }
 
-Task<> SimNic::DmaOut(Packet frame) {
+Task<> SimNic::DmaOut(Packet frame, std::uint64_t flow) {
   Cycles service = static_cast<Cycles>(frame.size() + 24) * CyclesPerByte();
   Cycles done = wire_out_.ReserveAt(machine_.exec().now(), service);
   co_await machine_.exec().Delay(done - machine_.exec().now());
+  trace::Emit<trace::Category::kNet>(trace::EventId::kNetTxWire, machine_.exec().now(),
+                                     config_.irq_core, frame.size(), 0, flow,
+                                     trace::Phase::kFlowIn);
   tx_wire_.push_back(std::move(frame));
   ++frames_sent_;
   wire_out_ready_.Signal();

@@ -67,7 +67,7 @@ class SimNic {
   Cycles CyclesPerByte() const;
 
  private:
-  Task<> DmaOut(Packet frame);
+  Task<> DmaOut(Packet frame, std::uint64_t flow);
 
   hw::Machine& machine_;
   Config config_;

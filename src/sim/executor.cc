@@ -99,6 +99,7 @@ void Executor::DispatchCycle() {
   // start a fresh list. Coroutine resumptions — the dominant event kind —
   // skip the type-erased invoke and destroy calls entirely.
   Node* n;
+  std::uint64_t dispatched = 0;
   while ((n = bucket_head_[slot]) != nullptr) {
     bucket_head_[slot] = n->next;
     if (n->next == nullptr) {
@@ -106,6 +107,7 @@ void Executor::DispatchCycle() {
     }
     --near_count_;
     ++events_dispatched_;
+    ++dispatched;
     if (n->cb.holds<ResumeFn>()) {
       const std::coroutine_handle<> h = n->cb.get_unchecked<ResumeFn>().handle;
       n->cb.discard_unchecked<ResumeFn>();
@@ -118,6 +120,8 @@ void Executor::DispatchCycle() {
     }
   }
   occupied_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  trace::Emit<trace::Category::kExec>(trace::EventId::kExecCycle, now_,
+                                      trace::kExecutorTrack, dispatched);
 }
 
 Cycles Executor::Run() {

@@ -38,6 +38,7 @@
 #include "sim/inline_callback.h"
 #include "sim/task.h"
 #include "sim/types.h"
+#include "trace/trace.h"
 
 namespace mk::sim {
 
@@ -249,6 +250,8 @@ class Executor {
   void DispatchHot() {
     now_ = hot_at_;
     ++events_dispatched_;
+    trace::Emit<trace::Category::kExec>(trace::EventId::kExecCycle, hot_at_,
+                                        trace::kExecutorTrack, /*arg0=*/1);
     hot_full_ = false;
     if (hot_is_handle_) {
       std::coroutine_handle<> h = hot_handle_;  // local copy: resume may re-arm the slot

@@ -39,20 +39,23 @@ class RunningStat {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-// Fixed-width linear histogram with overflow bucket; used for latency
-// distributions in the messaging experiments.
+// Fixed-width linear histogram with dedicated underflow and overflow
+// buckets; used for latency distributions in the messaging experiments.
+// Layout of counts(): [underflow, bucket 0 .. bucket N-1, overflow], so a
+// sample below `lo` can never masquerade as a legitimate [lo, lo+width)
+// sample and skew Percentile.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets)
-      : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets + 1, 0) {}
+      : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets + 2, 0) {}
 
   void Add(double x) {
     stat_.Add(x);
     if (x < lo_) {
-      ++counts_.front();
+      ++counts_.front();  // underflow bucket
       return;
     }
-    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    auto idx = static_cast<std::size_t>((x - lo_) / width_) + 1;
     if (idx >= counts_.size() - 1) {
       ++counts_.back();  // overflow bucket
     } else {
@@ -70,11 +73,16 @@ class Histogram {
     for (std::size_t i = 0; i < counts_.size(); ++i) {
       seen += counts_[i];
       if (seen > target) {
-        return lo_ + width_ * static_cast<double>(i);
+        // Bucket i spans [lo + (i-1)*width, lo + i*width); the underflow
+        // bucket (i == 0) reports the range floor.
+        return i == 0 ? lo_ : lo_ + width_ * static_cast<double>(i - 1);
       }
     }
-    return lo_ + width_ * static_cast<double>(counts_.size());
+    return lo_ + width_ * static_cast<double>(counts_.size() - 2);
   }
+
+  std::uint64_t underflow() const { return counts_.front(); }
+  std::uint64_t overflow() const { return counts_.back(); }
 
   const RunningStat& stat() const { return stat_; }
   const std::vector<std::uint64_t>& buckets() const { return counts_; }

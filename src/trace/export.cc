@@ -1,0 +1,166 @@
+#include "trace/export.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <vector>
+
+namespace mk::trace {
+namespace {
+
+// Cycles → trace-event "ts" (microseconds, fractional). One cycle = 1 ns.
+double TsMicros(sim::Cycles cycle) { return static_cast<double>(cycle) / 1000.0; }
+
+void WriteCommon(std::ostream& out, const Record& r) {
+  out << "\"ts\":" << TsMicros(r.cycle) << ",\"pid\":" << r.run
+      << ",\"tid\":" << r.core << ",\"cat\":\"" << CategoryName(r.category)
+      << "\",\"name\":\"" << EventName(r.event) << "\"";
+}
+
+void WriteArgs(std::ostream& out, const Record& r) {
+  out << ",\"args\":{\"arg0\":" << r.arg0 << ",\"arg1\":" << r.arg1;
+  if (r.flow != 0) out << ",\"flow\":" << r.flow;
+  out << "}";
+}
+
+// Flow endpoints ("s"/"f") must be unique per flow id within a trace;
+// namespaced ids (see kFlow* in trace.h) are already unique per message, but
+// two runs may reuse them, so fold the run index in.
+std::uint64_t FlowBindId(const Record& r) {
+  return r.flow ^ (static_cast<std::uint64_t>(r.run) << 48);
+}
+
+void WriteFlowEvent(std::ostream& out, const Record& r, bool origin) {
+  out << "{\"ph\":\"" << (origin ? 's' : 'f') << "\"";
+  if (!origin) out << ",\"bp\":\"e\"";
+  out << ",\"id\":" << FlowBindId(r) << ",";
+  // Terminate the flow at the span's end so the arrow lands on the slice.
+  Record at = r;
+  if (!origin && (r.phase == Phase::kSpanFlowIn)) at.cycle = r.cycle + r.arg1;
+  if (origin && (r.phase == Phase::kSpanFlowOut)) at.cycle = r.cycle + r.arg1;
+  WriteCommon(out, at);
+  out << "}";
+}
+
+}  // namespace
+
+void WritePerfettoJson(const Tracer& tracer, std::ostream& out) {
+  std::vector<Record> records = tracer.Snapshot();
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Metadata: one process per run, one named thread track per core.
+  const auto& runs = tracer.run_names();
+  std::vector<bool> run_seen(runs.size(), false);
+  std::vector<std::vector<bool>> track_seen(runs.size());
+  for (const Record& r : records) {
+    if (r.run < runs.size() && !run_seen[r.run]) {
+      run_seen[r.run] = true;
+      sep();
+      out << "{\"ph\":\"M\",\"pid\":" << r.run
+          << ",\"name\":\"process_name\",\"args\":{\"name\":\"" << runs[r.run]
+          << "\"}}";
+    }
+    if (r.run < runs.size()) {
+      auto& seen = track_seen[r.run];
+      if (seen.size() <= r.core) seen.resize(r.core + 1, false);
+      if (!seen[r.core]) {
+        seen[r.core] = true;
+        sep();
+        out << "{\"ph\":\"M\",\"pid\":" << r.run << ",\"tid\":" << r.core
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+        if (r.core == kExecutorTrack) {
+          out << "executor";
+        } else {
+          out << "core " << r.core;
+        }
+        out << "\"}}";
+      }
+    }
+  }
+
+  out << std::setprecision(15);
+  for (const Record& r : records) {
+    switch (r.phase) {
+      case Phase::kInstant:
+      case Phase::kFlowOut:
+      case Phase::kFlowIn:
+        sep();
+        out << "{\"ph\":\"i\",\"s\":\"t\",";
+        WriteCommon(out, r);
+        WriteArgs(out, r);
+        out << "}";
+        break;
+      case Phase::kSpan:
+      case Phase::kSpanFlowOut:
+      case Phase::kSpanFlowIn:
+        sep();
+        out << "{\"ph\":\"X\",\"dur\":" << TsMicros(r.arg1) << ",";
+        WriteCommon(out, r);
+        WriteArgs(out, r);
+        out << "}";
+        break;
+    }
+    if (r.phase == Phase::kFlowOut || r.phase == Phase::kSpanFlowOut) {
+      sep();
+      WriteFlowEvent(out, r, /*origin=*/true);
+    } else if (r.phase == Phase::kFlowIn || r.phase == Phase::kSpanFlowIn) {
+      sep();
+      WriteFlowEvent(out, r, /*origin=*/false);
+    }
+  }
+  out << "\n]}\n";
+}
+
+bool WritePerfettoJson(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WritePerfettoJson(tracer, out);
+  return static_cast<bool>(out);
+}
+
+Summary Summarize(const Tracer& tracer) {
+  Summary s;
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    auto c = static_cast<Category>(i);
+    s.categories[i].count = tracer.category_count(c);
+    s.categories[i].span_cycles = tracer.category_cycles(c);
+    s.total += s.categories[i].count;
+  }
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    s.events[i] = tracer.event_count(static_cast<EventId>(i));
+  }
+  s.dropped = tracer.total_dropped();
+  s.retained = s.total - s.dropped;
+  return s;
+}
+
+void PrintSummary(const Tracer& tracer, std::ostream& out) {
+  Summary s = Summarize(tracer);
+  out << "trace summary: " << s.total << " records (" << s.retained
+      << " retained, " << s.dropped << " dropped)\n";
+  out << "  " << std::left << std::setw(12) << "category" << std::right
+      << std::setw(12) << "count" << std::setw(16) << "span-cycles" << "\n";
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    if (s.categories[i].count == 0) continue;
+    out << "  " << std::left << std::setw(12)
+        << CategoryName(static_cast<Category>(i)) << std::right << std::setw(12)
+        << s.categories[i].count << std::setw(16) << s.categories[i].span_cycles
+        << "\n";
+  }
+  out << "  " << std::left << std::setw(16) << "event" << std::right
+      << std::setw(12) << "count" << "\n";
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    if (s.events[i] == 0) continue;
+    out << "  " << std::left << std::setw(16)
+        << EventName(static_cast<EventId>(i)) << std::right << std::setw(12)
+        << s.events[i] << "\n";
+  }
+}
+
+}  // namespace mk::trace

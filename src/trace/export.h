@@ -1,0 +1,49 @@
+// Trace sinks: Perfetto/Chrome trace-event JSON and a per-category text
+// summary. Both consume a Tracer's retained rings; the summary additionally
+// reports the exact append-time totals (immune to ring wraparound), which
+// tests cross-check against hw::PerfCounters.
+#ifndef MK_TRACE_EXPORT_H_
+#define MK_TRACE_EXPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace mk::trace {
+
+// Writes the retained records as a Chrome trace-event JSON object loadable in
+// ui.perfetto.dev / chrome://tracing. Each BeginRun scope becomes a process
+// (pid = run index) named after the run; each core becomes a thread track
+// within it. Spans become complete ("X") events, instants become "i", and
+// flow endpoints become "s"/"f" pairs keyed by flow id. Simulated cycles map
+// 1:1 to nanoseconds (ts is microseconds, so ts = cycle / 1000).
+void WritePerfettoJson(const Tracer& tracer, std::ostream& out);
+
+// File-opening convenience; returns false if the file cannot be written.
+bool WritePerfettoJson(const Tracer& tracer, const std::string& path);
+
+// Per-category / per-event exact totals plus ring-retention stats.
+struct Summary {
+  struct CategoryStats {
+    std::uint64_t count = 0;
+    std::uint64_t span_cycles = 0;  // summed durations of span records
+  };
+  std::array<CategoryStats, kNumCategories> categories{};
+  std::array<std::uint64_t, kNumEvents> events{};
+  std::uint64_t total = 0;
+  std::uint64_t retained = 0;
+  std::uint64_t dropped = 0;
+};
+
+Summary Summarize(const Tracer& tracer);
+
+// Renders `Summarize(tracer)` as an aligned text table (categories with their
+// counts and cycle sums, then nonzero events, then retention stats).
+void PrintSummary(const Tracer& tracer, std::ostream& out);
+
+}  // namespace mk::trace
+
+#endif  // MK_TRACE_EXPORT_H_

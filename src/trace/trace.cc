@@ -1,0 +1,180 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+namespace mk::trace {
+
+namespace internal {
+Tracer* g_active = nullptr;
+}  // namespace internal
+
+const char* CategoryName(Category c) {
+  switch (c) {
+    case Category::kExec: return "exec";
+    case Category::kCoherence: return "coherence";
+    case Category::kIpi: return "ipi";
+    case Category::kTlb: return "tlb";
+    case Category::kUrpc: return "urpc";
+    case Category::kKernel: return "kernel";
+    case Category::kMonitor: return "monitor";
+    case Category::kNet: return "net";
+    case Category::kNumCategories: break;
+  }
+  return "?";
+}
+
+const char* EventName(EventId e) {
+  switch (e) {
+    case EventId::kExecCycle: return "exec_cycle";
+    case EventId::kCohMiss: return "coh_miss";
+    case EventId::kCohC2C: return "coh_c2c";
+    case EventId::kIpiSend: return "ipi_send";
+    case EventId::kIpiRecv: return "ipi_recv";
+    case EventId::kTlbInvalidate: return "tlb_invalidate";
+    case EventId::kTlbFlush: return "tlb_flush";
+    case EventId::kTlbShootdown: return "tlb_shootdown";
+    case EventId::kUrpcSend: return "urpc_send";
+    case EventId::kUrpcRecv: return "urpc_recv";
+    case EventId::kUrpcBlock: return "urpc_block";
+    case EventId::kUrpcWake: return "urpc_wake";
+    case EventId::kSyscall: return "syscall";
+    case EventId::kTrap: return "trap";
+    case EventId::kLrpcCall: return "lrpc_call";
+    case EventId::kLrpcDeliver: return "lrpc_deliver";
+    case EventId::kUpcall: return "upcall";
+    case EventId::kMonCollective: return "mon_collective";
+    case EventId::kMon2pcPrepare: return "mon_2pc_prepare";
+    case EventId::kMon2pcCommit: return "mon_2pc_commit";
+    case EventId::kMon2pcAbort: return "mon_2pc_abort";
+    case EventId::kMonHandleOp: return "mon_handle_op";
+    case EventId::kCapPrepare: return "cap_prepare";
+    case EventId::kCapCommit: return "cap_commit";
+    case EventId::kCapAbort: return "cap_abort";
+    case EventId::kCapTransfer: return "cap_transfer";
+    case EventId::kNetRxWire: return "net_rx_wire";
+    case EventId::kNetRxPop: return "net_rx_pop";
+    case EventId::kNetTxPush: return "net_tx_push";
+    case EventId::kNetTxWire: return "net_tx_wire";
+    case EventId::kNetIrq: return "net_irq";
+    case EventId::kNumEvents: break;
+  }
+  return "?";
+}
+
+bool ParseCategoryList(const std::string& list, std::uint32_t* mask) {
+  std::uint32_t out = 0;
+  std::istringstream in(list);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    if (token == "all") {
+      out |= kAllCategories;
+      continue;
+    }
+    bool found = false;
+    for (std::size_t i = 0; i < kNumCategories; ++i) {
+      auto c = static_cast<Category>(i);
+      if (token == CategoryName(c)) {
+        out |= CategoryBit(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  *mask = out;
+  return true;
+}
+
+Tracer::Tracer(std::size_t capacity_per_core, std::uint32_t mask)
+    : capacity_(capacity_per_core == 0 ? 1 : capacity_per_core), mask_(mask) {
+  run_names_.push_back("run0");
+}
+
+Tracer::~Tracer() {
+  if (installed_) Uninstall();
+}
+
+void Tracer::Install() {
+  assert(internal::g_active == nullptr && "another tracer is already active");
+  internal::g_active = this;
+  installed_ = true;
+}
+
+void Tracer::Uninstall() {
+  if (internal::g_active == this) internal::g_active = nullptr;
+  installed_ = false;
+}
+
+std::uint16_t Tracer::BeginRun(std::string name) {
+  run_names_.push_back(std::move(name));
+  current_run_ = static_cast<std::uint16_t>(run_names_.size() - 1);
+  return current_run_;
+}
+
+Tracer::Ring& Tracer::GrowRing(std::uint16_t core) {
+  if (rings_.size() <= core) rings_.resize(core + 1);
+  auto ring = std::make_unique<Ring>();
+  ring->records = std::make_unique<Record[]>(capacity_);
+  rings_[core] = std::move(ring);
+  return *rings_[core];
+}
+
+std::uint64_t Tracer::total_records() const {
+  std::uint64_t n = 0;
+  for (std::uint64_t c : event_count_) n += c;
+  return n;
+}
+
+std::uint64_t Tracer::dropped(std::uint16_t core) const {
+  if (core >= rings_.size() || rings_[core] == nullptr) return 0;
+  const Ring& ring = *rings_[core];
+  return ring.writes > capacity_ ? ring.writes - capacity_ : 0;
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  std::uint64_t n = 0;
+  for (std::size_t c = 0; c < rings_.size(); ++c) {
+    n += dropped(static_cast<std::uint16_t>(c));
+  }
+  return n;
+}
+
+std::vector<std::uint16_t> Tracer::active_tracks() const {
+  std::vector<std::uint16_t> out;
+  for (std::size_t c = 0; c < rings_.size(); ++c) {
+    if (rings_[c] != nullptr && rings_[c]->writes > 0) {
+      out.push_back(static_cast<std::uint16_t>(c));
+    }
+  }
+  return out;
+}
+
+std::vector<Record> Tracer::Snapshot() const {
+  std::vector<Record> out;
+  std::uint64_t retained = 0;
+  for (const auto& ring : rings_) {
+    if (ring != nullptr) retained += std::min<std::uint64_t>(ring->writes, capacity_);
+  }
+  out.reserve(retained);
+  for (const auto& ring : rings_) {
+    if (ring == nullptr || ring->writes == 0) continue;
+    // Oldest retained record first: once wrapped, that is the current write
+    // position; before wrapping, index 0.
+    std::uint64_t n = std::min<std::uint64_t>(ring->writes, capacity_);
+    std::uint64_t start = ring->writes > capacity_ ? ring->writes % capacity_ : 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out.push_back(ring->records[(start + i) % capacity_]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Record& a, const Record& b) {
+    if (a.run != b.run) return a.run < b.run;
+    return a.cycle < b.cycle;
+  });
+  return out;
+}
+
+}  // namespace mk::trace

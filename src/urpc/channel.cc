@@ -3,10 +3,20 @@
 #include <stdexcept>
 
 namespace mk::urpc {
+namespace {
+
+// Channel serial numbers namespace trace flow ids: the sender's and
+// receiver's records for one message share the flow (serial, sequence). The
+// counter advances on every construction, traced or not, so tracing cannot
+// perturb a run.
+std::uint64_t g_channel_serial = 0;
+
+}  // namespace
 
 Channel::Channel(hw::Machine& machine, int sender_core, int receiver_core,
                  ChannelOptions opts)
     : machine_(machine), sender_(sender_core), receiver_(receiver_core), opts_(opts),
+      serial_(++g_channel_serial),
       readable_(machine.exec()), credit_(machine.exec()) {
   if (opts_.slots < 1) {
     throw std::invalid_argument("Channel: need at least one slot");
@@ -35,6 +45,7 @@ Task<> Channel::WaitForCredit() {
 }
 
 Task<> Channel::SendCommon(Message msg, bool posted) {
+  const Cycles start = machine_.exec().now();
   co_await WaitForCredit();
   Addr slot = SlotAddr(seq_sent_);
   if (posted) {
@@ -42,8 +53,12 @@ Task<> Channel::SendCommon(Message msg, bool posted) {
   } else {
     co_await machine_.mem().Write(sender_, slot);
   }
+  const std::uint64_t flow = FlowId(seq_sent_);
   ++seq_sent_;
   queue_.push_back(msg);
+  trace::EmitSpan<trace::Category::kUrpc>(trace::EventId::kUrpcSend, start,
+                                          machine_.exec().now(), sender_, msg.tag, flow,
+                                          trace::Phase::kSpanFlowOut);
   readable_.Signal();
   if (on_data_) {
     on_data_();
@@ -53,6 +68,8 @@ Task<> Channel::SendCommon(Message msg, bool posted) {
   co_await machine_.mem().Read(sender_, blocked_addr_);
   if (receiver_blocked_ && sender_driver_ != nullptr && receiver_driver_ != nullptr) {
     receiver_blocked_ = false;
+    trace::Emit<trace::Category::kUrpc>(trace::EventId::kUrpcWake, machine_.exec().now(),
+                                        sender_, static_cast<std::uint64_t>(receiver_));
     co_await sender_driver_->SendWakeupIpi(*receiver_driver_, wake_token_);
   }
 }
@@ -64,12 +81,14 @@ Task<> Channel::Send(Message msg) { return SendCommon(msg, /*posted=*/false); }
 Task<> Channel::SendPosted(Message msg) { return SendCommon(msg, /*posted=*/true); }
 
 Task<Message> Channel::Consume() {
+  const Cycles start = machine_.exec().now();
   // Claim the message before any suspension so a second consumer resuming
   // from its own charged read cannot double-pop (the channel is logically
   // single-reader, but select loops may race a Recv with a TryRecv).
   Message msg = queue_.front();
   queue_.pop_front();
   Addr slot = SlotAddr(seq_received_);
+  const std::uint64_t flow = FlowId(seq_received_);
   ++seq_received_;
   // Fetch the slot line the sender just wrote (the second round trip of the
   // fast path).
@@ -86,6 +105,9 @@ Task<Message> Channel::Consume() {
     co_await machine_.mem().WritePosted(receiver_, ack_addr_);
     credit_.Signal();
   }
+  trace::EmitSpan<trace::Category::kUrpc>(trace::EventId::kUrpcRecv, start,
+                                          machine_.exec().now(), receiver_, msg.tag, flow,
+                                          trace::Phase::kSpanFlowIn);
   co_return msg;
 }
 
@@ -121,6 +143,8 @@ Task<Message> Channel::RecvBlocking(kernel::CpuDriver& local, kernel::CpuDriver&
       receiver_blocked_ = true;
       co_await machine_.mem().WritePosted(receiver_, blocked_addr_);
       if (queue_.empty()) {  // re-check: a message may have landed meanwhile
+        trace::Emit<trace::Category::kUrpc>(trace::EventId::kUrpcBlock,
+                                            machine_.exec().now(), receiver_);
         co_await wake.Wait();
       } else {
         local.CancelBlocked(wake_token_);

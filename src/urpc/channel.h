@@ -132,11 +132,18 @@ class Channel {
   Addr SlotAddr(std::uint64_t seq) const {
     return base_ + (seq % static_cast<std::uint64_t>(opts_.slots)) * sim::kCacheLineBytes;
   }
+  // Trace flow id of the message with sequence number `seq` on this channel.
+  // The channel is a FIFO, so both endpoints derive the same id from their
+  // own sequence counters — no id travels in the message.
+  std::uint64_t FlowId(std::uint64_t seq) const {
+    return trace::kFlowUrpc | (serial_ << 24) | (seq & 0xffffff);
+  }
 
   hw::Machine& machine_;
   int sender_;
   int receiver_;
   ChannelOptions opts_;
+  std::uint64_t serial_;  // process-unique id; namespaces trace flow ids
   Addr base_ = 0;          // ring of `slots` lines
   Addr ack_addr_ = 0;      // receiver -> sender consumption counter
   Addr blocked_addr_ = 0;  // receiver-blocked flag

@@ -20,6 +20,7 @@
 #include "monitor/monitor.h"
 #include "sim/executor.h"
 #include "skb/skb.h"
+#include "trace/trace.h"
 
 namespace mk {
 namespace {
@@ -86,6 +87,37 @@ TEST(Determinism, TwoPhaseCommitRunsBitIdentically) {
   EXPECT_EQ(a.final_now, b.final_now);
   EXPECT_EQ(a.events_dispatched, b.events_dispatched);
   EXPECT_EQ(a.latencies, b.latencies);
+}
+
+// Tracing is an observer, never a perturbation: the workload must be
+// bit-identical with no tracer, a tracer capturing everything, and a tracer
+// whose runtime mask rejects everything (the third run pins the mask-test
+// fast path; compile-time removal via -DMK_TRACE_ENABLED=0 is exercised by
+// the CI matrix build). A tiny ring forces wraparound so overwrites are
+// covered too.
+TEST(Determinism, TracingDoesNotPerturbTheSchedule) {
+  RunResult baseline = RunTwoPhaseCommitWorkload();
+
+  trace::Tracer full(/*capacity_per_core=*/256, trace::kAllCategories);
+  full.Install();
+  RunResult traced = RunTwoPhaseCommitWorkload();
+  full.Uninstall();
+  if (trace::kCompiledCategories != 0) {
+    EXPECT_GT(full.total_records(), 0u);
+  }
+
+  trace::Tracer masked(/*capacity_per_core=*/256, /*mask=*/0);
+  masked.Install();
+  RunResult masked_run = RunTwoPhaseCommitWorkload();
+  masked.Uninstall();
+  EXPECT_EQ(masked.total_records(), 0u);
+
+  EXPECT_EQ(baseline.final_now, traced.final_now);
+  EXPECT_EQ(baseline.events_dispatched, traced.events_dispatched);
+  EXPECT_EQ(baseline.latencies, traced.latencies);
+  EXPECT_EQ(baseline.final_now, masked_run.final_now);
+  EXPECT_EQ(baseline.events_dispatched, masked_run.events_dispatched);
+  EXPECT_EQ(baseline.latencies, masked_run.latencies);
 }
 
 }  // namespace

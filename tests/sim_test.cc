@@ -334,5 +334,31 @@ TEST(Histogram, PercentileApproximation) {
   EXPECT_NEAR(h.Percentile(0.9), 90.0, 2.0);
 }
 
+// Regression: samples below the range floor used to land in bucket 0 (the
+// [lo, lo+width) bucket) and masquerade as legitimate low samples. They must
+// go to a dedicated underflow bucket that never inflates in-range buckets.
+TEST(Histogram, UnderflowDoesNotConflateWithFirstBucket) {
+  Histogram h(100, 200, 10);
+  h.Add(-5);   // far below the floor
+  h.Add(50);   // below the floor
+  h.Add(100);  // exactly the floor: first real bucket
+  h.Add(105);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 0u);
+  // counts() layout: [underflow, bucket 0..N-1, overflow].
+  ASSERT_EQ(h.buckets().size(), 12u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 2u);  // the two in-range samples, unpolluted
+  h.Add(250);  // above the ceiling
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+  // Percentile walks underflow first and reports the range floor for it.
+  Histogram low(100, 200, 10);
+  for (int i = 0; i < 10; ++i) {
+    low.Add(0);
+  }
+  EXPECT_DOUBLE_EQ(low.Percentile(0.5), 100.0);
+}
+
 }  // namespace
 }  // namespace mk::sim
