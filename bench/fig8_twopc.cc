@@ -2,10 +2,12 @@
 // single capability-retype agreement, and the per-operation cost when many
 // operations are pipelined.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "bench_util.h"
+#include "fault/fault.h"
 #include "hw/machine.h"
 #include "hw/platform.h"
 #include "kernel/cpu_driver.h"
@@ -90,13 +92,101 @@ double MeasurePipelined(int ncores) {
   return static_cast<double>(s.exec.now() - t0) / kOps;
 }
 
+// --kill-core mode: the canonical fault plan (halt core 5 mid-2PC) driven
+// through the same fig8 workload shape. Every retype must still commit among
+// the survivors via presumed abort, and two executions must be bit-identical.
+struct KillCoreRun {
+  Cycles final_now = 0;
+  std::uint64_t events_dispatched = 0;
+  std::vector<Cycles> latencies;
+  int attempts_total = 0;
+  bool all_committed = true;
+  bool dead_core_detected = false;
+};
+
+Task<> KillCoreOps(System& s, std::vector<caps::CapId> roots, KillCoreRun& out) {
+  for (caps::CapId root : roots) {
+    auto r = co_await s.sys.on(0).GlobalRetype(root, caps::CapType::kFrame, 4096, 1,
+                                               Protocol::kNumaMulticast, {},
+                                               /*ncores=*/8);
+    out.all_committed = out.all_committed && r.committed;
+    out.attempts_total += r.attempts;
+    out.latencies.push_back(r.latency);
+    co_await s.exec.Delay(20000);
+  }
+  s.sys.Shutdown();
+}
+
+KillCoreRun MeasureKillOneCore() {
+  fault::FaultPlan plan;
+  plan.HaltCore(5, /*at=*/100'000);  // lands inside the second retype's prepare
+  fault::Injector inj(plan);
+  inj.Install();
+  KillCoreRun out;
+  {
+    System s;
+    std::vector<caps::CapId> roots;
+    for (int i = 0; i < 4; ++i) {
+      roots.push_back(s.sys.InstallRootCap(static_cast<std::uint64_t>(i) << 24, 1 << 24));
+    }
+    s.exec.Spawn(KillCoreOps(s, roots, out));
+    s.exec.Run();
+    out.final_now = s.exec.now();
+    out.events_dispatched = s.exec.events_dispatched();
+    out.dead_core_detected = s.sys.CoreFailed(5);
+  }
+  inj.Uninstall();
+  return out;
+}
+
+int RunKillCoreMode(bench::TraceSession& session) {
+  bench::PrintHeader("Figure 8 under fault: core 5 halted mid-2PC (8-core collective)");
+  session.BeginRun("kill-core-run1");
+  KillCoreRun a = MeasureKillOneCore();
+  session.BeginRun("kill-core-run2");
+  KillCoreRun b = MeasureKillOneCore();
+  std::printf("%-28s", "per-op latency (cycles):");
+  for (Cycles l : a.latencies) {
+    std::printf(" %10llu", static_cast<unsigned long long>(l));
+  }
+  std::printf("\n%-28s %d (over %zu ops)\n", "attempts:", a.attempts_total,
+              a.latencies.size());
+  std::printf("%-28s %s\n", "all committed:", a.all_committed ? "yes" : "NO");
+  std::printf("%-28s %s\n", "dead core detected:",
+              a.dead_core_detected ? "yes" : "NO");
+  bool deterministic = a.final_now == b.final_now &&
+                       a.events_dispatched == b.events_dispatched &&
+                       a.latencies == b.latencies &&
+                       a.attempts_total == b.attempts_total;
+  std::printf("%-28s %s (run 1: %llu cycles / %llu events, run 2: %llu / %llu)\n",
+              "replay bit-identical:", deterministic ? "yes" : "NO",
+              static_cast<unsigned long long>(a.final_now),
+              static_cast<unsigned long long>(a.events_dispatched),
+              static_cast<unsigned long long>(b.final_now),
+              static_cast<unsigned long long>(b.events_dispatched));
+  bool recovered = a.all_committed && a.dead_core_detected &&
+                   a.attempts_total > static_cast<int>(a.latencies.size());
+  std::printf("%-28s %s\n", "recovery (presumed abort):",
+              recovered ? "yes (timed-out round retried among survivors)" : "NO");
+  return deterministic && recovered ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace mk
 
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceFlags trace_flags = bench::ParseTraceFlags(argc, argv);
+  bool kill_core = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kill-core") == 0) {
+      kill_core = true;
+    }
+  }
   bench::TraceSession session(trace_flags);
+  if (kill_core) {
+    return RunKillCoreMode(session);
+  }
   if (session.active()) {
     // Traced mode: one labeled run per shape at 32 cores, not the sweep.
     bench::PrintHeader("Figure 8 (traced): two-phase commit at 32 cores");

@@ -7,7 +7,7 @@ IpiShootdown::IpiShootdown(hw::Machine& machine, Flavor flavor)
   op_line_ = machine_.mem().AllocLines(0, 1);
   ack_line_ = machine_.mem().AllocLines(0, 1);
   for (int c = 0; c < machine_.num_cores(); ++c) {
-    machine_.ipi().SetHandler(c, [this, c](int vector) {
+    machine_.ipi().SetHandler(c, [this, c](int vector, std::uint64_t) {
       if (vector == kVectorShootdown) {
         machine_.exec().Spawn(Target(c, generation_));
       }

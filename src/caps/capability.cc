@@ -28,6 +28,7 @@ const char* CapErrName(CapErr e) {
     case CapErr::kLocked: return "locked";
     case CapErr::kNoRights: return "no-rights";
     case CapErr::kConflict: return "conflict";
+    case CapErr::kTimeout: return "timeout";
   }
   return "?";
 }
@@ -128,12 +129,15 @@ CapDb::RetypeResult CapDb::Retype(CapId parent, CapType new_type, std::uint64_t 
     result.err = CapErr::kNoRights;
     return result;
   }
+  // Snapshot the parent before creating children: NewNode grows nodes_ and
+  // may reallocate it, which would dangle `p` mid-loop.
+  const Capability parent_cap = p->cap;
   for (std::uint32_t i = 0; i < count; ++i) {
     Capability child;
     child.type = new_type;
-    child.base = p->cap.base + static_cast<std::uint64_t>(i) * child_bytes;
+    child.base = parent_cap.base + static_cast<std::uint64_t>(i) * child_bytes;
     child.bytes = child_bytes;
-    child.rights = p->cap.rights;
+    child.rights = parent_cap.rights;
     result.children.push_back(NewNode(child, parent));
   }
   return result;

@@ -72,6 +72,7 @@ enum class CapErr {
   kLocked,         // region locked by an in-flight two-phase operation
   kNoRights,       // rights do not permit the operation
   kConflict,       // overlapping in-flight operation
+  kTimeout,        // remote replica did not answer (fault injection / dead core)
 };
 
 const char* CapErrName(CapErr e);

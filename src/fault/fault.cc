@@ -1,0 +1,212 @@
+#include "fault/fault.h"
+
+#include <cassert>
+
+namespace mk::fault {
+
+namespace internal {
+Injector* g_active = nullptr;
+}  // namespace internal
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCoreHalt: return "core-halt";
+    case FaultKind::kIpiDrop: return "ipi-drop";
+    case FaultKind::kIpiDelay: return "ipi-delay";
+    case FaultKind::kNicRxDrop: return "nic-rx-drop";
+    case FaultKind::kNicRxCorrupt: return "nic-rx-corrupt";
+    case FaultKind::kNicTxDrop: return "nic-tx-drop";
+    case FaultKind::kLinkDelay: return "link-delay";
+    case FaultKind::kNumKinds: break;
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::Add(const FaultSpec& spec) {
+  specs_.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::HaltCore(int core, sim::Cycles at) {
+  FaultSpec s;
+  s.kind = FaultKind::kCoreHalt;
+  s.at = at;
+  s.a = core;
+  return Add(s);
+}
+
+FaultPlan& FaultPlan::DropIpi(int from, int to, sim::Cycles at, int count) {
+  FaultSpec s;
+  s.kind = FaultKind::kIpiDrop;
+  s.at = at;
+  s.a = from;
+  s.b = to;
+  s.count = count;
+  return Add(s);
+}
+
+FaultPlan& FaultPlan::DelayIpi(int from, int to, sim::Cycles extra, sim::Cycles at,
+                               sim::Cycles until) {
+  FaultSpec s;
+  s.kind = FaultKind::kIpiDelay;
+  s.at = at;
+  s.until = until;
+  s.a = from;
+  s.b = to;
+  s.extra = extra;
+  return Add(s);
+}
+
+FaultPlan& FaultPlan::DropRxFrames(sim::Cycles at, int count) {
+  FaultSpec s;
+  s.kind = FaultKind::kNicRxDrop;
+  s.at = at;
+  s.count = count;
+  return Add(s);
+}
+
+FaultPlan& FaultPlan::RandomRxLoss(double rate, std::uint64_t seed, sim::Cycles at,
+                                   sim::Cycles until) {
+  FaultSpec s;
+  s.kind = FaultKind::kNicRxDrop;
+  s.at = at;
+  s.until = until;
+  s.probability = rate;
+  s.seed = seed;
+  return Add(s);
+}
+
+FaultPlan& FaultPlan::CorruptRxFrames(sim::Cycles at, int count) {
+  FaultSpec s;
+  s.kind = FaultKind::kNicRxCorrupt;
+  s.at = at;
+  s.count = count;
+  return Add(s);
+}
+
+FaultPlan& FaultPlan::DropTxFrames(sim::Cycles at, int count) {
+  FaultSpec s;
+  s.kind = FaultKind::kNicTxDrop;
+  s.at = at;
+  s.count = count;
+  return Add(s);
+}
+
+FaultPlan& FaultPlan::LinkSpike(sim::Cycles extra, sim::Cycles at, sim::Cycles until) {
+  FaultSpec s;
+  s.kind = FaultKind::kLinkDelay;
+  s.at = at;
+  s.until = until;
+  s.extra = extra;
+  return Add(s);
+}
+
+Injector::Injector(const FaultPlan& plan) {
+  specs_.reserve(plan.specs().size());
+  for (const FaultSpec& s : plan.specs()) {
+    specs_.emplace_back(s);
+  }
+}
+
+Injector::~Injector() {
+  if (installed_) {
+    Uninstall();
+  }
+}
+
+void Injector::Install() {
+  assert(internal::g_active == nullptr && "an Injector is already installed");
+  internal::g_active = this;
+  installed_ = true;
+}
+
+void Injector::Uninstall() {
+  if (internal::g_active == this) {
+    internal::g_active = nullptr;
+  }
+  installed_ = false;
+}
+
+namespace {
+bool EndpointMatches(int want, int got) { return want == -1 || want == got; }
+
+bool Armed(const FaultSpec& s, sim::Cycles now) {
+  return now >= s.at && now < s.until;
+}
+}  // namespace
+
+bool Injector::CoreHalted(int core, sim::Cycles now) const {
+  for (const SpecState& st : specs_) {
+    if (st.spec.kind == FaultKind::kCoreHalt && st.spec.a == core && now >= st.spec.at) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Injector::AnyHaltPlanned() const {
+  for (const SpecState& st : specs_) {
+    if (st.spec.kind == FaultKind::kCoreHalt) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Injector::SpecState* Injector::Consume(FaultKind kind, sim::Cycles now, int a, int b) {
+  for (SpecState& st : specs_) {
+    const FaultSpec& s = st.spec;
+    if (s.kind != kind || !Armed(s, now)) {
+      continue;
+    }
+    if (!EndpointMatches(s.a, a) || !EndpointMatches(s.b, b)) {
+      continue;
+    }
+    if (s.count != kUnlimited && st.fired >= s.count) {
+      continue;
+    }
+    // The probability draw happens per candidate the spec considers, so a
+    // lossy-link spec consumes exactly one variate per matching frame —
+    // deterministic regardless of what other specs do.
+    if (s.probability < 1.0 && !st.rng.Chance(s.probability)) {
+      continue;
+    }
+    ++st.fired;
+    ++injected_[static_cast<std::size_t>(kind)];
+    return &st;
+  }
+  return nullptr;
+}
+
+bool Injector::ShouldDropIpi(sim::Cycles now, int from, int to) {
+  return Consume(FaultKind::kIpiDrop, now, from, to) != nullptr;
+}
+
+sim::Cycles Injector::IpiExtraDelay(sim::Cycles now, int from, int to) {
+  SpecState* st = Consume(FaultKind::kIpiDelay, now, from, to);
+  return st != nullptr ? st->spec.extra : 0;
+}
+
+bool Injector::ShouldDropRxFrame(sim::Cycles now) {
+  return Consume(FaultKind::kNicRxDrop, now, -1, -1) != nullptr;
+}
+
+bool Injector::ShouldCorruptRxFrame(sim::Cycles now) {
+  return Consume(FaultKind::kNicRxCorrupt, now, -1, -1) != nullptr;
+}
+
+bool Injector::ShouldDropTxFrame(sim::Cycles now) {
+  return Consume(FaultKind::kNicTxDrop, now, -1, -1) != nullptr;
+}
+
+sim::Cycles Injector::LinkExtra(sim::Cycles now) const {
+  sim::Cycles extra = 0;
+  for (const SpecState& st : specs_) {
+    if (st.spec.kind == FaultKind::kLinkDelay && Armed(st.spec, now)) {
+      extra += st.spec.extra;
+    }
+  }
+  return extra;
+}
+
+}  // namespace mk::fault

@@ -1,0 +1,171 @@
+// mk::fault — deterministic, schedule-driven fault injection.
+//
+// The paper's central argument (§2) is that a multikernel *is* a distributed
+// system; this module makes the reproduction inherit distributed-systems
+// failure modes on demand. A FaultPlan is a declarative schedule of faults —
+// fail-stop core halts, IPI drops and delays, NIC frame loss and corruption,
+// interconnect latency spikes — and an Injector is the installed instance the
+// hardware models consult at their injection points.
+//
+// Two properties mirror mk::trace:
+//
+//   * deterministic — the simulator is single-threaded and every
+//     probabilistic fault draws from a per-spec sim::Rng stream, so the same
+//     plan and seeds produce a bit-identical run (pinned by
+//     tests/determinism_test.cc);
+//   * zero-cost when absent — with no Injector installed every injection
+//     point is one null-pointer test, schedules no events, and charges no
+//     cycles, so the paper benches stay byte-identical (recovery machinery
+//     such as 2PC phase timeouts and heartbeats is likewise armed only while
+//     an Injector is active, because sim::Event::WaitTimeout dispatches its
+//     timer even when signaled first and would otherwise perturb event
+//     counts).
+//
+// Faults are injected by the *models* (hw::IpiFabric, net::Nic,
+// hw::CoherenceModel, kernel halt checks), which also emit the
+// trace::Category::kFault instants — the sites know the core context; this
+// module only answers queries.
+#ifndef MK_FAULT_FAULT_H_
+#define MK_FAULT_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/types.h"
+
+namespace mk::fault {
+
+inline constexpr sim::Cycles kForever = std::numeric_limits<sim::Cycles>::max();
+inline constexpr int kUnlimited = -1;
+
+enum class FaultKind : std::uint8_t {
+  kCoreHalt,      // fail-stop: core never runs again after `at`
+  kIpiDrop,       // IPI charged at the sender but never delivered
+  kIpiDelay,      // IPI wire latency inflated by `extra`
+  kNicRxDrop,     // frame lost between wire and RX ring
+  kNicRxCorrupt,  // frame bit-flipped between wire and RX ring
+  kNicTxDrop,     // frame lost after TX DMA, before the wire
+  kLinkDelay,     // cross-package interconnect transfers inflated by `extra`
+  kNumKinds,
+};
+
+inline constexpr std::size_t kNumKinds = static_cast<std::size_t>(FaultKind::kNumKinds);
+
+const char* FaultKindName(FaultKind k);
+
+// One scheduled fault. A spec is armed while `at <= now < until`, matches the
+// injection site's endpoints (`a`/`b`, -1 = wildcard; for IPIs a = sender
+// core, b = destination core; for kCoreHalt a = the core), fires at most
+// `count` times (kUnlimited = no cap), and — when probability < 1 — draws
+// from its own seeded stream so plans compose without perturbing each other.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCoreHalt;
+  sim::Cycles at = 0;
+  sim::Cycles until = kForever;
+  int a = -1;
+  int b = -1;
+  int count = kUnlimited;
+  sim::Cycles extra = 0;
+  double probability = 1.0;
+  std::uint64_t seed = 0;
+};
+
+// Declarative builder for a fault schedule. Plans are value types; the
+// Injector copies the specs at construction.
+class FaultPlan {
+ public:
+  // Fail-stop halt: `core` executes nothing at or after cycle `at`.
+  FaultPlan& HaltCore(int core, sim::Cycles at);
+  // Drop the next `count` IPIs from `from` to `to` (-1 = any) sent at/after `at`.
+  FaultPlan& DropIpi(int from, int to, sim::Cycles at, int count = 1);
+  // Inflate matching IPIs' wire latency by `extra` while armed.
+  FaultPlan& DelayIpi(int from, int to, sim::Cycles extra, sim::Cycles at,
+                      sim::Cycles until = kForever);
+  // Drop the next `count` RX frames arriving at/after `at`.
+  FaultPlan& DropRxFrames(sim::Cycles at, int count = 1);
+  // Drop each RX frame with probability `rate` while armed (seeded stream).
+  FaultPlan& RandomRxLoss(double rate, std::uint64_t seed, sim::Cycles at = 0,
+                          sim::Cycles until = kForever);
+  // Corrupt the next `count` RX frames (payload bit flip; checksums catch it).
+  FaultPlan& CorruptRxFrames(sim::Cycles at, int count = 1);
+  // Drop the next `count` TX frames after DMA-out.
+  FaultPlan& DropTxFrames(sim::Cycles at, int count = 1);
+  // Inflate cross-package interconnect transfers by `extra` while armed.
+  FaultPlan& LinkSpike(sim::Cycles extra, sim::Cycles at, sim::Cycles until);
+
+  FaultPlan& Add(const FaultSpec& spec);
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+  bool empty() const { return specs_.empty(); }
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+// The installed fault schedule. Process-wide singleton via Install/Uninstall
+// (the simulator is single-threaded), mirroring trace::Tracer. Queries are
+// consulted by the hardware models; each query visits the spec list once —
+// plans are a handful of entries, so this is not a hot path, and with no
+// Injector installed the sites pay only `active() == nullptr`.
+class Injector {
+ public:
+  explicit Injector(const FaultPlan& plan);
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+  ~Injector();
+
+  void Install();
+  void Uninstall();
+  static Injector* active();
+
+  // True if `core` has fail-stop halted by `now`. Pure predicate (halts are
+  // permanent, never counted), so recovery code can poll it freely.
+  bool CoreHalted(int core, sim::Cycles now) const;
+  // True if any core is scheduled to halt at some point in the plan.
+  bool AnyHaltPlanned() const;
+
+  // Consuming queries: called once per candidate injection, they advance
+  // per-spec counters/streams and record stats.
+  bool ShouldDropIpi(sim::Cycles now, int from, int to);
+  sim::Cycles IpiExtraDelay(sim::Cycles now, int from, int to);
+  bool ShouldDropRxFrame(sim::Cycles now);
+  bool ShouldCorruptRxFrame(sim::Cycles now);
+  bool ShouldDropTxFrame(sim::Cycles now);
+  // Non-consuming (interval-armed, unlimited): extra cross-package latency.
+  sim::Cycles LinkExtra(sim::Cycles now) const;
+
+  // Total injections performed per kind (kCoreHalt/kLinkDelay are interval
+  // predicates and stay zero here).
+  std::uint64_t injected(FaultKind k) const {
+    return injected_[static_cast<std::size_t>(k)];
+  }
+
+ private:
+  struct SpecState {
+    FaultSpec spec;
+    int fired = 0;
+    sim::Rng rng;
+    explicit SpecState(const FaultSpec& s) : spec(s), rng(s.seed) {}
+  };
+
+  // Finds the first armed, matching, non-exhausted spec of `kind` and — if
+  // its probability draw passes — consumes one firing from it.
+  SpecState* Consume(FaultKind kind, sim::Cycles now, int a, int b);
+
+  std::vector<SpecState> specs_;
+  std::array<std::uint64_t, kNumKinds> injected_{};
+  bool installed_ = false;
+};
+
+namespace internal {
+// Defined in fault.cc; read through Injector::active().
+extern Injector* g_active;
+}  // namespace internal
+
+inline Injector* Injector::active() { return internal::g_active; }
+
+}  // namespace mk::fault
+
+#endif  // MK_FAULT_FAULT_H_

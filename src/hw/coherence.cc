@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "fault/fault.h"
+
 namespace mk::hw {
 namespace {
 
@@ -82,15 +84,34 @@ std::uint64_t CoherentMemory::SharersOf(Addr addr) const {
 
 Cycles CoherentMemory::TransferLatency(int core, int src_core, int home) const {
   const CostBook& c = spec_.cost;
+  // An installed fault::Injector can spike the interconnect: every transfer
+  // that leaves the local package pays the extra latency while the spike is
+  // armed.
+  auto link_extra = [&](int hops) -> Cycles {
+    if (hops <= 0) {
+      return 0;
+    }
+    fault::Injector* inj = fault::Injector::active();
+    if (inj == nullptr) {
+      return 0;
+    }
+    Cycles extra = inj->LinkExtra(exec_.now());
+    if (extra > 0) {
+      trace::Emit<trace::Category::kFault>(trace::EventId::kFaultLinkSpike, exec_.now(),
+                                           core, extra);
+    }
+    return extra;
+  };
   if (src_core >= 0) {
     if (topo_.SharesCache(core, src_core)) {
       return c.shared_cache_rt;
     }
     int hops = topo_.HopsBetweenCores(core, src_core);
-    return c.cross_rt_base + c.cross_rt_per_hop * static_cast<Cycles>(hops);
+    return c.cross_rt_base + c.cross_rt_per_hop * static_cast<Cycles>(hops) +
+           link_extra(hops);
   }
   int hops = topo_.Hops(topo_.PackageOf(core), home);
-  return c.dram_base + c.dram_per_hop * static_cast<Cycles>(hops);
+  return c.dram_base + c.dram_per_hop * static_cast<Cycles>(hops) + link_extra(hops);
 }
 
 Cycles CoherentMemory::ContentionDelay(Addr line_addr, int core, int src_core, int home,

@@ -1,8 +1,10 @@
 #include "hw/machine.h"
 
+#include "fault/fault.h"
+
 namespace mk::hw {
 
-sim::Task<> IpiFabric::Send(int from, int to, int vector) {
+sim::Task<> IpiFabric::Send(int from, int to, int vector, std::uint64_t payload) {
   ++counters_.core(from).ipis_sent;
   const CostBook& c = spec_.cost;
   int hops = topo_.Hops(topo_.PackageOf(from), topo_.PackageOf(to));
@@ -10,18 +12,39 @@ sim::Task<> IpiFabric::Send(int from, int to, int vector) {
   // Flow serial advances unconditionally so runs are identical with tracing
   // on or off.
   const std::uint64_t flow = trace::kFlowIpi | ++next_flow_;
+  if (fault::Injector* inj = fault::Injector::active()) {
+    if (inj->ShouldDropIpi(exec_.now(), from, to)) {
+      // Dropped in the fabric: the sender still pays the APIC command cost,
+      // the destination never hears about it.
+      trace::Emit<trace::Category::kFault>(trace::EventId::kFaultIpiDrop, exec_.now(),
+                                           from, static_cast<std::uint64_t>(to),
+                                           static_cast<std::uint64_t>(vector));
+      co_await exec_.Delay(c.ipi_send);
+      co_return;
+    }
+    if (sim::Cycles extra = inj->IpiExtraDelay(exec_.now(), from, to); extra > 0) {
+      trace::Emit<trace::Category::kFault>(trace::EventId::kFaultIpiDelay, exec_.now(),
+                                           from, static_cast<std::uint64_t>(to), extra);
+      wire += extra;
+    }
+  }
   trace::Emit<trace::Category::kIpi>(trace::EventId::kIpiSend, exec_.now(), from,
                                      static_cast<std::uint64_t>(to),
                                      static_cast<std::uint64_t>(vector), flow,
                                      trace::Phase::kFlowOut);
-  auto arrive = [this, from, to, vector, flow] {
+  auto arrive = [this, from, to, vector, payload, flow] {
+    // A fail-stop core takes no interrupts: the IPI reaches a dead APIC.
+    if (fault::Injector* inj = fault::Injector::active();
+        inj != nullptr && inj->CoreHalted(to, exec_.now())) {
+      return;
+    }
     ++counters_.core(to).ipis_received;
     trace::Emit<trace::Category::kIpi>(trace::EventId::kIpiRecv, exec_.now(), to,
                                        static_cast<std::uint64_t>(from),
                                        static_cast<std::uint64_t>(vector), flow,
                                        trace::Phase::kFlowIn);
     if (handlers_[to]) {
-      handlers_[to](vector);
+      handlers_[to](vector, payload);
     }
   };
   // Per-IPI arrival closure: must stay within the inline callback budget so

@@ -23,10 +23,13 @@ class Machine;
 
 // Delivers inter-processor interrupts. The kernel registers one handler per
 // core; delivery charges wire latency and invokes the handler, which is
-// responsible for charging the receive-side trap cost.
+// responsible for charging the receive-side trap cost. `payload` is a
+// small out-of-band word carried with the vector (the wake-up path uses it
+// for the blocked-waiter token, so wake-ups can never be misattributed when
+// IPIs from different senders arrive out of send order).
 class IpiFabric {
  public:
-  using Handler = std::function<void(int vector)>;
+  using Handler = std::function<void(int vector, std::uint64_t payload)>;
 
   IpiFabric(sim::Executor& exec, const PlatformSpec& spec, const Topology& topo,
             PerfCounters& counters)
@@ -35,8 +38,10 @@ class IpiFabric {
 
   void SetHandler(int core, Handler handler) { handlers_[core] = std::move(handler); }
 
-  // Charges the APIC command cost to the sender and schedules delivery.
-  sim::Task<> Send(int from, int to, int vector);
+  // Charges the APIC command cost to the sender and schedules delivery. An
+  // installed fault::Injector may drop the IPI (charged but never delivered),
+  // delay it, or — if the destination has fail-stop halted — silence it.
+  sim::Task<> Send(int from, int to, int vector, std::uint64_t payload = 0);
 
  private:
   sim::Executor& exec_;

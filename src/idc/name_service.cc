@@ -1,5 +1,8 @@
 #include "idc/name_service.h"
 
+#include "fault/fault.h"
+#include "trace/trace.h"
+
 namespace mk::idc {
 
 NameService::NameService(hw::Machine& machine, int registry_core)
@@ -35,24 +38,62 @@ Task<ServiceRef> NameService::Register(int from_core, std::string name,
   co_return ref;
 }
 
+bool NameService::OwnerHalted(const ServiceRef& ref) const {
+  fault::Injector* inj = fault::Injector::active();
+  return inj != nullptr && inj->CoreHalted(ref.core, machine_.exec().now());
+}
+
+std::size_t NameService::EvictCore(int core) {
+  std::size_t evicted = 0;
+  for (auto it = by_id_.begin(); it != by_id_.end();) {
+    if (it->second.core == core) {
+      trace::Emit<trace::Category::kFault>(trace::EventId::kFaultNsEvict,
+                                           machine_.exec().now(), core_,
+                                           static_cast<std::uint64_t>(core),
+                                           it->second.id);
+      by_name_.erase(it->second.name);
+      it = by_id_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 Task<std::optional<ServiceRef>> NameService::Lookup(int from_core, const std::string& name) {
   co_await ChargeRoundTrip(from_core);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     co_return std::nullopt;
   }
-  co_return by_id_.at(it->second);
+  ServiceRef ref = by_id_.at(it->second);
+  if (OwnerHalted(ref)) {
+    // Lazy eviction: the owning core fail-stopped after registering. Drop
+    // every registration it held and report the name as unbound.
+    EvictCore(ref.core);
+    co_return std::nullopt;
+  }
+  co_return ref;
 }
 
 Task<std::vector<ServiceRef>> NameService::Query(int from_core, const std::string& key,
                                                  const std::string& value) {
   co_await ChargeRoundTrip(from_core);
   std::vector<ServiceRef> out;
+  std::vector<int> dead;
   for (const auto& [id, ref] : by_id_) {
     auto it = ref.properties.find(key);
     if (it != ref.properties.end() && it->second == value) {
+      if (OwnerHalted(ref)) {
+        dead.push_back(ref.core);
+        continue;
+      }
       out.push_back(ref);
     }
+  }
+  for (int core : dead) {
+    EvictCore(core);
   }
   co_return out;
 }

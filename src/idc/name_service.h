@@ -49,9 +49,18 @@ class NameService {
   // Removes a registration; true if it existed.
   Task<bool> Unregister(int from_core, std::uint32_t id);
 
+  // Fail-stop recovery: drops every registration owned by `core` so clients
+  // stop being handed references to services that can no longer answer.
+  // Returns the number of registrations evicted. Also applied lazily — while
+  // a fault::Injector is installed, Lookup and Query evict dead-core
+  // registrations instead of returning them.
+  std::size_t EvictCore(int core);
+
   std::size_t size() const { return by_id_.size(); }
 
  private:
+  // True if the ref's owning core is fail-stopped (fault injection only).
+  bool OwnerHalted(const ServiceRef& ref) const;
   // One registry round trip: request to the registry core, reply back.
   Task<> ChargeRoundTrip(int from_core);
 

@@ -5,7 +5,8 @@
 namespace mk::kernel {
 
 CpuDriver::CpuDriver(hw::Machine& machine, int core) : machine_(machine), core_(core) {
-  machine_.ipi().SetHandler(core_, [this](int vector) { HandleIpi(vector); });
+  machine_.ipi().SetHandler(
+      core_, [this](int vector, std::uint64_t payload) { HandleIpi(vector, payload); });
 }
 
 EndpointId CpuDriver::RegisterEndpoint(Handler handler, std::string name) {
@@ -72,18 +73,18 @@ void CpuDriver::CancelBlocked(WakeToken token) { blocked_.erase(token); }
 bool CpuDriver::IsBlocked(WakeToken token) const { return blocked_.count(token) != 0; }
 
 Task<> CpuDriver::SendWakeupIpi(CpuDriver& target, WakeToken token) {
-  target.pending_wakeups_.push_back(token);
-  co_await machine_.ipi().Send(core_, target.core_, kVectorWakeup);
+  // The token rides in the IPI payload; the receive side looks it up in its
+  // own blocked table, so a stale or reordered wake-up can never resume the
+  // wrong task.
+  co_await machine_.ipi().Send(core_, target.core_, kVectorWakeup, token);
 }
 
-void CpuDriver::HandleIpi(int vector) {
+void CpuDriver::HandleIpi(int vector, std::uint64_t payload) {
   if (vector == kVectorWakeup) {
-    if (pending_wakeups_.empty()) {
-      return;  // stale IPI: the blocked task already resumed
+    if (payload == 0) {
+      return;  // no token: nothing was ever registered for this IPI
     }
-    WakeToken token = pending_wakeups_.front();
-    pending_wakeups_.pop_front();
-    machine_.exec().Spawn(DeliverWakeup(token));
+    machine_.exec().Spawn(DeliverWakeup(payload));
   }
 }
 

@@ -14,7 +14,6 @@
 #define MK_KERNEL_CPU_DRIVER_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -88,8 +87,15 @@ class CpuDriver {
   bool IsBlocked(WakeToken token) const;
 
   // Sends a wake-up IPI from this core to `target`'s core. The token names
-  // the blocked registration on the target driver.
+  // the blocked registration on the target driver and travels in the IPI
+  // payload, so concurrent wake-ups from senders at different hop distances
+  // can never be delivered to the wrong waiter (they used to be matched
+  // FIFO against send order, which wire reordering could invert).
   Task<> SendWakeupIpi(CpuDriver& target, WakeToken token);
+
+  // Number of tasks currently registered as blocked (invariant checks: a
+  // quiesced run must leave none behind).
+  std::size_t blocked_count() const { return blocked_.size(); }
 
   // Total cycles this core spent in the idle loop (power proxy).
   Cycles idle_cycles() const { return idle_cycles_; }
@@ -106,7 +112,7 @@ class CpuDriver {
     std::string name;
   };
 
-  void HandleIpi(int vector);
+  void HandleIpi(int vector, std::uint64_t payload);
   Task<> DeliverWakeup(WakeToken token);
 
   hw::Machine& machine_;
@@ -114,7 +120,6 @@ class CpuDriver {
   std::vector<Endpoint> endpoints_;
   std::unordered_map<WakeToken, sim::Event*> blocked_;
   WakeToken next_token_ = 1;
-  std::deque<WakeToken> pending_wakeups_;
   Cycles idle_cycles_ = 0;
   std::uint64_t messages_delivered_ = 0;
 };

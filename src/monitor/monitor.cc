@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
+
 namespace mk::monitor {
 namespace {
 
@@ -39,7 +41,7 @@ caps::CapDb::PreparedOp Monitor::ToCapOp(const OpMsg& msg) const {
   return op;
 }
 
-Task<bool> Monitor::ApplyAction(const OpMsg& msg) {
+Task<Monitor::ApplyResult> Monitor::ApplyAction(const OpMsg& msg) {
   hw::Machine& m = sys_.machine();
   switch (msg.kind) {
     case OpKind::kInvalidate:
@@ -56,23 +58,26 @@ Task<bool> Monitor::ApplyAction(const OpMsg& msg) {
                                              trace::Phase::kFlowIn);
         }
       }
-      co_return true;
+      co_return ApplyResult{};
     case OpKind::kPrepare: {
-      const bool ok = caps_.Prepare(ToCapOp(msg)) == caps::CapErr::kOk;
+      const caps::CapErr err = caps_.Prepare(ToCapOp(msg));
+      const bool ok = err == caps::CapErr::kOk;
       trace::Emit<trace::Category::kMonitor>(trace::EventId::kCapPrepare, m.exec().now(),
                                              core_, msg.op_id, ok ? 1 : 0);
-      co_return ok;
+      // Only a lock conflict is worth retrying; every other refusal (bad
+      // cap, bad range, live descendants...) is permanent.
+      co_return ApplyResult{ok, err == caps::CapErr::kConflict};
     }
     case OpKind::kCommit:
       committed_children_[msg.op_id] = caps_.Commit(msg.op_id);
       trace::Emit<trace::Category::kMonitor>(trace::EventId::kCapCommit, m.exec().now(),
                                              core_, msg.op_id);
-      co_return true;
+      co_return ApplyResult{};
     case OpKind::kAbort:
       caps_.Abort(msg.op_id);
       trace::Emit<trace::Category::kMonitor>(trace::EventId::kCapAbort, m.exec().now(),
                                              core_, msg.op_id);
-      co_return true;
+      co_return ApplyResult{};
     case OpKind::kCapSend: {
       caps::Capability cap;
       cap.type = static_cast<caps::CapType>(msg.cap_new_type);
@@ -80,14 +85,14 @@ Task<bool> Monitor::ApplyAction(const OpMsg& msg) {
       cap.bytes = msg.cap_child_bytes;
       trace::Emit<trace::Category::kMonitor>(trace::EventId::kCapTransfer, m.exec().now(),
                                              core_, msg.op_id);
-      co_return caps_.InsertRemote(cap).err == caps::CapErr::kOk;
+      co_return ApplyResult{caps_.InsertRemote(cap).err == caps::CapErr::kOk, false};
     }
     case OpKind::kPing:
-      co_return true;
+      co_return ApplyResult{};
     case OpKind::kCustom:
-      co_return custom_ ? co_await custom_(msg) : true;
+      co_return ApplyResult{custom_ ? co_await custom_(msg) : true, false};
   }
-  co_return true;
+  co_return ApplyResult{};
 }
 
 std::vector<int> Monitor::ChildrenFor(const OpMsg& msg) const {
@@ -112,10 +117,19 @@ std::vector<int> Monitor::ChildrenFor(const OpMsg& msg) const {
   return {};
 }
 
-Task<> Monitor::SendAck(int to, std::uint64_t op_id, bool vote, bool raw) {
+Task<> Monitor::SendAck(int to, std::uint64_t op_id, bool vote, bool retryable,
+                        bool raw) {
+  // A fail-stop core acknowledges nothing: the coroutine handling the op may
+  // have been in flight when the halt struck, so the cut is here, at the
+  // reply.
+  if (fault::Injector* inj = fault::Injector::active();
+      inj != nullptr && inj->CoreHalted(core_, sys_.machine().exec().now())) {
+    co_return;
+  }
   AckMsg ack;
   ack.op_id = op_id;
   ack.vote = vote ? 1 : 0;
+  ack.retryable = retryable ? 1 : 0;
   (void)raw;
   co_await sys_.GetChannel(core_, to, /*numa_node=*/-1).Send(urpc::Pack(kTagAck, ack));
 }
@@ -126,23 +140,31 @@ Task<> Monitor::HandleOp(OpMsg msg, int from) {
   trace::Emit<trace::Category::kMonitor>(trace::EventId::kMonHandleOp, m.exec().now(),
                                          core_, msg.op_id,
                                          static_cast<std::uint64_t>(msg.kind));
+  if (msg.kind == OpKind::kAbort) {
+    // Presumed abort: if this core is an aggregation leader still waiting on
+    // a (possibly dead) child's prepare ack for this op, the initiator's
+    // abort supersedes that round — drop the stale aggregation state so no
+    // in-flight-op entry leaks.
+    ops_.erase(msg.op_id);
+  }
   if (!msg.raw()) {
     co_await m.Compute(core_, m.cost().msg_demux);
   }
   if (msg.kind == OpKind::kCapSend) {
-    bool ok = co_await ApplyAction(msg);
-    co_await SendAck(from, msg.op_id, ok, msg.raw());
+    ApplyResult r = co_await ApplyAction(msg);
+    co_await SendAck(from, msg.op_id, r.vote, r.retryable, msg.raw());
     co_return;
   }
-  bool vote = co_await ApplyAction(msg);
+  ApplyResult r = co_await ApplyAction(msg);
   std::vector<int> children = ChildrenFor(msg);
   if (children.empty()) {
-    co_await SendAck(from, msg.op_id, vote, msg.raw());
+    co_await SendAck(from, msg.op_id, r.vote, r.retryable, msg.raw());
     co_return;
   }
   OpState st;
   st.pending = static_cast<int>(children.size());
-  st.vote = vote;
+  st.vote = r.vote;
+  st.retryable = r.retryable;
   st.parent = from;
   st.raw = msg.raw();
   ops_[msg.op_id] = st;
@@ -155,14 +177,21 @@ Task<> Monitor::HandleOp(OpMsg msg, int from) {
 Task<> Monitor::HandleAck(AckMsg ack) {
   auto it = ops_.find(ack.op_id);
   if (it == ops_.end()) {
-    co_return;  // stale ack (op already aborted/completed)
+    co_return;  // stale ack (op already aborted/completed/timed out)
+  }
+  hw::Machine& m = sys_.machine();
+  if (!it->second.raw) {
+    co_await m.Compute(core_, m.cost().msg_demux);
+    // The initiator's phase timeout may have erased the op while the demux
+    // charge was in flight; the iterator would dangle.
+    it = ops_.find(ack.op_id);
+    if (it == ops_.end()) {
+      co_return;
+    }
   }
   OpState& st = it->second;
-  hw::Machine& m = sys_.machine();
-  if (!st.raw) {
-    co_await m.Compute(core_, m.cost().msg_demux);
-  }
   st.vote = st.vote && ack.vote != 0;
+  st.retryable = st.retryable || ack.retryable != 0;
   if (--st.pending > 0) {
     co_return;
   }
@@ -172,9 +201,10 @@ Task<> Monitor::HandleAck(AckMsg ack) {
   }
   int parent = st.parent;
   bool vote = st.vote;
+  bool retryable = st.retryable;
   bool raw = st.raw;
   ops_.erase(it);
-  co_await SendAck(parent, ack.op_id, vote, raw);
+  co_await SendAck(parent, ack.op_id, vote, retryable, raw);
 }
 
 Task<> Monitor::Dispatch(const urpc::Message& msg, int from) {
@@ -188,6 +218,20 @@ Task<> Monitor::Dispatch(const urpc::Message& msg, int from) {
 Task<> Monitor::Loop() {
   hw::Machine& m = sys_.machine();
   while (sys_.running()) {
+    if (fault::Injector* inj = fault::Injector::active();
+        inj != nullptr && inj->CoreHalted(core_, m.exec().now())) {
+      // Fail-stop: the core executes nothing from its halt time on. The
+      // coroutine itself parks (frames cannot be destroyed mid-flight);
+      // data-hook signals may wake it, and it immediately parks again.
+      if (!halt_traced_) {
+        halt_traced_ = true;
+        trace::Emit<trace::Category::kFault>(trace::EventId::kFaultCoreHalt,
+                                             m.exec().now(), core_,
+                                             static_cast<std::uint64_t>(core_));
+      }
+      co_await work_.Wait();
+      continue;
+    }
     if (!sys_.IsOnline(core_)) {
       // The core is powered down (MONITOR/MWAIT): park until a view change.
       co_await work_.Wait();
@@ -241,7 +285,8 @@ Task<Monitor::CollectiveResult> Monitor::RunCollective(OpMsg msg) {
   sim::Event done(m.exec());
 
   // The initiator applies the operation to its own replica first.
-  bool local_vote = co_await ApplyAction(msg);
+  ApplyResult local = co_await ApplyAction(msg);
+  bool local_vote = local.vote;
 
   // Originate the shootdown-wave flows: one arrow from the initiator to each
   // replica that will invalidate (the kFlowIn ends land in ApplyAction).
@@ -285,12 +330,13 @@ Task<Monitor::CollectiveResult> Monitor::RunCollective(OpMsg msg) {
   if (sends.empty()) {
     trace::EmitSpan<trace::Category::kMonitor>(trace::EventId::kMonCollective, t0,
                                                m.exec().now(), core_, msg.op_id);
-    co_return CollectiveResult{m.exec().now() - t0, local_vote};
+    co_return CollectiveResult{m.exec().now() - t0, local_vote, local.retryable, false};
   }
 
   OpState st;
   st.pending = static_cast<int>(sends.size());
   st.vote = local_vote;
+  st.retryable = local.retryable;
   st.raw = msg.raw();
   st.done = &done;
   ops_[msg.op_id] = st;
@@ -312,10 +358,30 @@ Task<Monitor::CollectiveResult> Monitor::RunCollective(OpMsg msg) {
     }
   }
 
-  co_await done.Wait();
+  // Plain runs wait unboundedly — WaitTimeout schedules a timer event even
+  // when signaled first, so arming it unconditionally would perturb the
+  // no-fault schedule. Under an installed Injector, a phase that outlives
+  // the timeout means some participant will never answer: presume abort,
+  // detect the dead core(s), and exclude them from subsequent rounds.
+  bool timed_out = false;
+  if (fault::Injector::active() != nullptr) {
+    timed_out = !co_await done.WaitTimeout(kPhaseTimeout);
+  } else {
+    co_await done.Wait();
+  }
   CollectiveResult result;
   result.latency = m.exec().now() - t0;
-  result.all_yes = ops_[msg.op_id].vote;
+  if (timed_out) {
+    trace::Emit<trace::Category::kFault>(trace::EventId::kFault2pcTimeout,
+                                         m.exec().now(), core_, msg.op_id);
+    sys_.ExcludeHaltedCores();
+    result.all_yes = false;
+    result.retryable = true;  // survivors may well agree once the dead are excluded
+    result.timed_out = true;
+  } else {
+    result.all_yes = ops_[msg.op_id].vote;
+    result.retryable = ops_[msg.op_id].retryable;
+  }
   ops_.erase(msg.op_id);
   trace::EmitSpan<trace::Category::kMonitor>(trace::EventId::kMonCollective, t0,
                                              m.exec().now(), core_, msg.op_id);
@@ -377,10 +443,15 @@ Task<Monitor::TwoPcResult> Monitor::TwoPhase(OpMsg msg) {
   TwoPcResult result;
   // Conflicting prepares can all abort (each holds its own replica lock and
   // refuses the others); retry with a per-core deterministic backoff so one
-  // initiator eventually wins. Persistent validation failures exhaust the
-  // retries and report failure.
+  // initiator eventually wins. A *permanent* validation failure (bad cap,
+  // live descendants, ...) aborts immediately — retrying cannot change the
+  // vote — and is reported distinctly from exhausting the conflict retries.
+  // A phase timeout (dead participant, fault injection) counts as retryable:
+  // the timed-out round excluded the dead cores, so the next attempt can
+  // commit among the survivors.
   constexpr int kMaxAttempts = 12;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    ++result.attempts;
     msg.kind = OpKind::kPrepare;
     const Cycles prep_start = m.exec().now();
     CollectiveResult prepare = co_await RunCollective(msg);
@@ -396,13 +467,20 @@ Task<Monitor::TwoPcResult> Monitor::TwoPhase(OpMsg msg) {
                                                msg.op_id);
     if (prepare.all_yes) {
       result.committed = true;
+      result.outcome = TwoPcOutcome::kCommitted;
       break;
     }
+    if (!prepare.retryable) {
+      result.outcome = TwoPcOutcome::kAborted;
+      break;
+    }
+    result.outcome = TwoPcOutcome::kRetriesExhausted;
     // The backoff must exceed a full two-phase round so phase-locked
     // initiators separate; the per-core factor breaks symmetry.
     Cycles backoff =
         (Cycles{4000} << attempt) * (1 + static_cast<Cycles>(core_) % 5) +
         static_cast<Cycles>(core_) * 977;
+    result.backoff += backoff;
     co_await m.exec().Delay(backoff);
     // A fresh op id per attempt: the old prepares were aborted everywhere.
     msg.op_id = (static_cast<std::uint64_t>(core_) << 48) | next_op_++;
@@ -440,7 +518,16 @@ Task<caps::CapErr> Monitor::SendCap(int dest_core, caps::CapId id) {
   st.done = &done;
   ops_[msg.op_id] = st;
   co_await sys_.GetChannel(core_, dest_core, -1).Send(urpc::Pack(kTagOp, msg));
-  co_await done.Wait();
+  if (fault::Injector::active() != nullptr) {
+    // The destination may be dead; bound the wait and report it distinctly.
+    if (!co_await done.WaitTimeout(kPhaseTimeout)) {
+      ops_.erase(msg.op_id);
+      sys_.ExcludeHaltedCores();
+      co_return caps::CapErr::kTimeout;
+    }
+  } else {
+    co_await done.Wait();
+  }
   bool ok = ops_[msg.op_id].vote;
   ops_.erase(msg.op_id);
   co_return ok ? caps::CapErr::kOk : caps::CapErr::kBadType;
@@ -449,7 +536,8 @@ Task<caps::CapErr> Monitor::SendCap(int dest_core, caps::CapId id) {
 MonitorSystem::MonitorSystem(hw::Machine& machine, skb::Skb& skb,
                              std::vector<std::unique_ptr<kernel::CpuDriver>>& drivers)
     : machine_(machine), skb_(skb), drivers_(drivers),
-      online_(static_cast<std::size_t>(machine.num_cores()), true) {
+      online_(static_cast<std::size_t>(machine.num_cores()), true),
+      failed_(static_cast<std::size_t>(machine.num_cores()), false) {
   for (int c = 0; c < machine.num_cores(); ++c) {
     monitors_.push_back(std::make_unique<Monitor>(*this, c));
   }
@@ -462,6 +550,41 @@ void MonitorSystem::Boot() {
   for (auto& mon : monitors_) {
     machine_.exec().Spawn(mon->Loop());
   }
+  // The heartbeat exists only under fault injection: it schedules periodic
+  // timer events, which would perturb (and needlessly extend) plain runs.
+  if (fault::Injector::active() != nullptr) {
+    machine_.exec().Spawn(HeartbeatLoop());
+  }
+}
+
+Task<> MonitorSystem::HeartbeatLoop() {
+  while (running_) {
+    co_await machine_.exec().Delay(kHeartbeatPeriod);
+    if (!running_) {
+      break;
+    }
+    ExcludeHaltedCores();
+  }
+}
+
+int MonitorSystem::ExcludeHaltedCores() {
+  fault::Injector* inj = fault::Injector::active();
+  if (inj == nullptr) {
+    return 0;
+  }
+  int excluded = 0;
+  for (int c = 0; c < machine_.num_cores(); ++c) {
+    if (online_[static_cast<std::size_t>(c)] && inj->CoreHalted(c, machine_.exec().now())) {
+      online_[static_cast<std::size_t>(c)] = false;
+      failed_[static_cast<std::size_t>(c)] = true;
+      trace::Emit<trace::Category::kFault>(trace::EventId::kFaultExcludeCore,
+                                           machine_.exec().now(), c,
+                                           static_cast<std::uint64_t>(c));
+      on(c).work_.Signal();  // its loop observes the halt and parks
+      ++excluded;
+    }
+  }
+  return excluded;
 }
 
 void MonitorSystem::Shutdown() {
@@ -486,6 +609,24 @@ bool MonitorSystem::ReplicasConsistent() const {
   std::uint64_t digest = monitors_.front()->caps_.Digest();
   for (const auto& mon : monitors_) {
     if (mon->caps_.Digest() != digest) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MonitorSystem::LiveReplicasConsistent() const {
+  std::uint64_t digest = 0;
+  bool have_digest = false;
+  for (const auto& mon : monitors_) {
+    if (!online_[static_cast<std::size_t>(mon->core())]) {
+      continue;
+    }
+    std::uint64_t d = mon->caps_.Digest();
+    if (!have_digest) {
+      digest = d;
+      have_digest = true;
+    } else if (d != digest) {
       return false;
     }
   }

@@ -42,6 +42,14 @@ namespace mk::monitor {
 using sim::Cycles;
 using sim::Task;
 
+// Recovery timing, used only while a fault::Injector is installed. The phase
+// timeout bounds how long a 2PC initiator waits for a phase's acks before
+// presuming abort; it comfortably exceeds the slowest observed collective on
+// the modeled machines. The heartbeat is how often non-initiating monitors
+// sweep for dead peers.
+inline constexpr Cycles kPhaseTimeout = 500'000;
+inline constexpr Cycles kHeartbeatPeriod = 50'000;
+
 class MonitorSystem;
 
 class Monitor {
@@ -58,6 +66,8 @@ class Monitor {
   struct CollectiveResult {
     Cycles latency = 0;
     bool all_yes = true;
+    bool retryable = false;  // some no-vote was a kConflict (lock contention)
+    bool timed_out = false;  // a participant never answered within the phase timeout
   };
 
   // One-phase commit: propagate a TLB-range invalidation to every core and
@@ -69,11 +79,25 @@ class Monitor {
                                           std::uint16_t ncores = 0);
 
   // Two-phase commit (Figure 8): prepare the capability operation on every
-  // replica; if all vote yes, commit, else abort. Returns whether committed
-  // and the end-to-end latency.
+  // replica; if all vote yes, commit, else abort.
+  //
+  // The three ways out are distinct: a clean validation abort (a replica
+  // voted no for a permanent reason — retrying cannot help, so we don't),
+  // exhausting the retry budget on conflicts, or committing. `latency` is
+  // end-to-end wall time including losing attempts; `backoff` is the portion
+  // spent sleeping between attempts, so callers measuring protocol cost can
+  // subtract it.
+  enum class TwoPcOutcome : std::uint8_t {
+    kCommitted,
+    kAborted,           // permanent validation failure; no retries wasted
+    kRetriesExhausted,  // kMaxAttempts conflict rounds, never won the lock
+  };
   struct TwoPcResult {
     bool committed = false;
     Cycles latency = 0;
+    TwoPcOutcome outcome = TwoPcOutcome::kAborted;
+    int attempts = 0;
+    Cycles backoff = 0;  // cycles slept between losing attempts
   };
   Task<TwoPcResult> GlobalRetype(caps::CapId target, caps::CapType new_type,
                                  std::uint64_t child_bytes, std::uint32_t count,
@@ -108,26 +132,38 @@ class Monitor {
   // Statistics.
   std::uint64_t messages_handled() const { return messages_handled_; }
 
+  // In-flight aggregation/initiator states (invariant checks: a quiesced run
+  // must leave none behind).
+  std::size_t inflight_ops() const { return ops_.size(); }
+
  private:
   friend class MonitorSystem;
 
   struct OpState {
     int pending = 0;
     bool vote = true;
+    bool retryable = false;
     int parent = -1;           // core to ack when the subtree completes (-1: initiator)
     bool raw = false;
     sim::Event* done = nullptr;  // initiator completion
+  };
+
+  // A replica's local verdict on an operation: the vote, and whether a no
+  // was for a transient reason (lock conflict) that a retry may resolve.
+  struct ApplyResult {
+    bool vote = true;
+    bool retryable = false;
   };
 
   Task<> Dispatch(const urpc::Message& msg, int from);
   Task<> HandleOp(OpMsg msg, int from);
   Task<> HandleAck(AckMsg ack);
   // Applies the op locally (TLB invalidate / cap prepare / commit / abort).
-  Task<bool> ApplyAction(const OpMsg& msg);
+  Task<ApplyResult> ApplyAction(const OpMsg& msg);
   // Children this monitor must forward to for the op's route (empty unless
   // this core is the aggregation leader of its package).
   std::vector<int> ChildrenFor(const OpMsg& msg) const;
-  Task<> SendAck(int to, std::uint64_t op_id, bool vote, bool raw);
+  Task<> SendAck(int to, std::uint64_t op_id, bool vote, bool retryable, bool raw);
   Task<CollectiveResult> RunCollective(OpMsg msg);
   Task<TwoPcResult> TwoPhase(OpMsg msg);
   caps::CapDb::PreparedOp ToCapOp(const OpMsg& msg) const;
@@ -142,6 +178,7 @@ class Monitor {
   std::uint64_t next_op_ = 1;
   std::uint64_t messages_handled_ = 0;
   std::map<int, std::uint64_t> bcast_seen_;
+  bool halt_traced_ = false;  // kFaultCoreHalt emitted once per halt
 };
 
 // Boots and owns the monitors, their channel mesh, routes, and the broadcast
@@ -174,6 +211,32 @@ class MonitorSystem {
   // Replica consistency check: true if all per-core capability databases have
   // the same digest.
   bool ReplicasConsistent() const;
+
+  // Like ReplicasConsistent, but only over online cores: after a fail-stop
+  // halt, the dead replica may legitimately lag (e.g. a prepare it never
+  // aborted), and agreement is required among the survivors only.
+  bool LiveReplicasConsistent() const;
+
+  // --- Failure detection and recovery (fault injection only) ---
+  //
+  // A fail-stop core is detected either by a 2PC phase timeout at the
+  // initiator or by the heartbeat sweep; detection marks it offline (routes
+  // and collectives exclude it, its monitor parks) and failed. All of this
+  // machinery is armed only while a fault::Injector is installed, so plain
+  // runs schedule no extra events.
+
+  // True if `core` was taken out of the view by failure (as opposed to a
+  // clean OfflineCore power-down).
+  bool CoreFailed(int core) const { return failed_[static_cast<std::size_t>(core)]; }
+
+  // Sweeps the injector's halt schedule and excludes every newly dead core
+  // from the view. Returns how many cores were excluded by this call.
+  int ExcludeHaltedCores();
+
+  // Periodic ExcludeHaltedCores sweep; spawned by Boot when an Injector is
+  // installed, so participants that are *not* initiating 2PC also learn of
+  // dead peers.
+  Task<> HeartbeatLoop();
 
   const skb::MulticastRoute& RouteFor(int source, bool numa_aware);
 
@@ -224,6 +287,7 @@ class MonitorSystem {
   std::map<int, BroadcastGroup> bcast_;
   std::map<std::pair<int, bool>, skb::MulticastRoute> routes_;
   std::vector<bool> online_;
+  std::vector<bool> failed_;
   bool running_ = false;
 };
 

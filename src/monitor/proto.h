@@ -62,7 +62,8 @@ static_assert(sizeof(OpMsg) <= 56, "OpMsg must fit one URPC payload");
 
 struct AckMsg {
   std::uint64_t op_id = 0;
-  std::uint8_t vote = 1;  // 1 = yes/ok
+  std::uint8_t vote = 1;       // 1 = yes/ok
+  std::uint8_t retryable = 0;  // no-vote was kConflict: retry may succeed
 };
 
 // Message tags on monitor channels.

@@ -1,5 +1,7 @@
 #include "net/nic.h"
 
+#include "fault/fault.h"
+
 namespace mk::net {
 namespace {
 
@@ -38,6 +40,25 @@ Task<> SimNic::InjectFromWire(Packet frame) {
   Cycles service = static_cast<Cycles>(frame.size() + 24) * CyclesPerByte();  // +preamble/IFG
   Cycles done = wire_in_.ReserveAt(machine_.exec().now(), service);
   co_await machine_.exec().Delay(done - machine_.exec().now());
+  // Fault injection happens after the wire pacing (the bits still occupied
+  // the link) but before the frame reaches the RX ring: a dropped frame never
+  // existed as far as the driver is concerned; a corrupted one is delivered
+  // and must be caught by the stack's checksums.
+  if (fault::Injector* inj = fault::Injector::active()) {
+    if (inj->ShouldDropRxFrame(machine_.exec().now())) {
+      trace::Emit<trace::Category::kFault>(trace::EventId::kFaultFrameDrop,
+                                           machine_.exec().now(), config_.irq_core,
+                                           frame.size(), 0);
+      ++frames_dropped_;
+      co_return;
+    }
+    if (inj->ShouldCorruptRxFrame(machine_.exec().now()) && !frame.empty()) {
+      trace::Emit<trace::Category::kFault>(trace::EventId::kFaultFrameCorrupt,
+                                           machine_.exec().now(), config_.irq_core,
+                                           frame.size());
+      frame.back() ^= 0xff;  // payload bit flip: survives to the L4 checksum
+    }
+  }
   if (rx_ring_.size() >= static_cast<std::size_t>(config_.rx_descs)) {
     ++frames_dropped_;
     co_return;
@@ -99,6 +120,15 @@ Task<> SimNic::DmaOut(Packet frame, std::uint64_t flow) {
   Cycles service = static_cast<Cycles>(frame.size() + 24) * CyclesPerByte();
   Cycles done = wire_out_.ReserveAt(machine_.exec().now(), service);
   co_await machine_.exec().Delay(done - machine_.exec().now());
+  if (fault::Injector* inj = fault::Injector::active();
+      inj != nullptr && inj->ShouldDropTxFrame(machine_.exec().now())) {
+    // The DMA engine serialized the frame, but the wire ate it.
+    trace::Emit<trace::Category::kFault>(trace::EventId::kFaultFrameDrop,
+                                         machine_.exec().now(), config_.irq_core,
+                                         frame.size(), 1);
+    ++frames_dropped_;
+    co_return;
+  }
   trace::Emit<trace::Category::kNet>(trace::EventId::kNetTxWire, machine_.exec().now(),
                                      config_.irq_core, frame.size(), 0, flow,
                                      trace::Phase::kFlowIn);

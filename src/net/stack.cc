@@ -2,7 +2,21 @@
 
 #include <cstring>
 
+#include "fault/fault.h"
+#include "trace/trace.h"
+
 namespace mk::net {
+namespace {
+
+// Serial-number comparison (RFC 1982 style) for 32-bit sequence space.
+bool SeqLt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+bool SeqLe(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+}  // namespace
 
 Task<NetStack::UdpDatagram> NetStack::UdpSocket::Recv() {
   while (queue.empty()) {
@@ -90,20 +104,31 @@ Task<> NetStack::UdpSendTo(std::uint16_t src_port, Ipv4Addr dst_ip, std::uint16_
 
 Task<> NetStack::Input(Packet frame) {
   ++frames_in_;
-  auto parsed = ParseFrame(frame);
+  ParseInfo info;
+  auto parsed = ParseFrame(frame, &info);
+  // Checksum cost is charged on the L4 payload bytes the parser actually
+  // summed — the same basis whether the frame parsed or not (a truncated
+  // frame sums nothing; a corrupt one sums its payload before rejecting it).
   co_await machine_.Compute(
       core_, costs_.per_packet_in +
-                 static_cast<Cycles>(static_cast<double>(
-                                         parsed ? parsed->payload_len : frame.size()) *
+                 static_cast<Cycles>(static_cast<double>(info.payload_len) *
                                      costs_.per_byte_checksum));
-  if (!parsed || (parsed->ip.dst != ip_ && parsed->ip.dst != 0xffffffff)) {
-    ++drops_;
+  if (!parsed) {
+    if (info.error == ParseError::kUnknownProto) {
+      ++drops_unknown_proto_;
+    } else {
+      ++drops_bad_frame_;
+    }
+    co_return;
+  }
+  if (parsed->ip.dst != ip_ && parsed->ip.dst != 0xffffffff) {
+    ++drops_not_for_us_;
     co_return;
   }
   if (parsed->udp) {
     auto it = udp_.find(parsed->udp->dst_port);
     if (it == udp_.end()) {
-      ++drops_;
+      ++drops_no_listener_;
       co_return;
     }
     UdpDatagram d;
@@ -120,7 +145,7 @@ Task<> NetStack::Input(Packet frame) {
     co_await HandleTcp(*parsed, frame);
     co_return;
   }
-  ++drops_;
+  ++drops_unknown_proto_;
 }
 
 Task<> NetStack::SendTcpSegment(TcpConn& conn, TcpFlags flags, const std::uint8_t* data,
@@ -138,10 +163,80 @@ Task<> NetStack::SendTcpSegment(TcpConn& conn, TcpFlags flags, const std::uint8_
   tcp.seq = conn.snd_nxt;
   tcp.ack = conn.rcv_nxt;
   tcp.flags = flags;
-  conn.snd_nxt += static_cast<std::uint32_t>(len) + (flags.syn ? 1 : 0) +
-                  (flags.fin ? 1 : 0);
+  auto seq_len = static_cast<std::uint32_t>(len) + (flags.syn ? 1 : 0) +
+                 (flags.fin ? 1 : 0);
+  conn.snd_nxt += seq_len;
+  if (seq_len > 0) {
+    // Segments that occupy sequence space are kept until acknowledged (pure
+    // ACKs are not retransmittable). This bookkeeping runs on every send; the
+    // timer that retransmits from it only exists under fault injection.
+    TcpConn::SentSeg seg;
+    seg.seq = tcp.seq;
+    seg.seq_len = seq_len;
+    seg.flags = flags;
+    seg.data.assign(data, data + len);
+    conn.unacked.push_back(std::move(seg));
+    if (fault::Injector::active() != nullptr && !conn.retx_timer_running) {
+      conn.retx_timer_running = true;
+      machine_.exec().Spawn(RetransmitTimer(conn));
+    }
+  }
   Packet frame = BuildTcpFrame(eth, ip, tcp, data, len);
   co_await Emit(std::move(frame), len);
+}
+
+Task<> NetStack::SendTcpRaw(TcpConn& conn, std::uint32_t seq, TcpFlags flags,
+                            const std::uint8_t* data, std::size_t len) {
+  EthHeader eth;
+  eth.src = mac_;
+  eth.dst = ResolveMac(conn.remote_ip);
+  IpHeader ip;
+  ip.src = ip_;
+  ip.dst = conn.remote_ip;
+  ip.ident = ip_ident_++;
+  TcpHeader tcp;
+  tcp.src_port = conn.local_port;
+  tcp.dst_port = conn.remote_port;
+  tcp.seq = seq;
+  tcp.ack = conn.rcv_nxt;
+  tcp.flags = flags;
+  Packet frame = BuildTcpFrame(eth, ip, tcp, data, len);
+  co_await Emit(std::move(frame), len);
+}
+
+Task<> NetStack::RetransmitTimer(TcpConn& conn) {
+  // Go-back-N: on each timeout with no forward progress, re-send everything
+  // outstanding from snd_una. The connection object is owned by conns_ and
+  // never erased, so the reference stays valid across suspensions.
+  Cycles rto = kTcpRto;
+  int tries = 0;
+  while (fault::Injector::active() != nullptr && !conn.unacked.empty()) {
+    std::uint32_t una_before = conn.snd_una;
+    co_await machine_.exec().Delay(rto);
+    if (conn.unacked.empty()) {
+      break;
+    }
+    if (conn.snd_una != una_before) {
+      rto = kTcpRto;  // forward progress: reset the backoff
+      tries = 0;
+      continue;
+    }
+    if (++tries > kTcpMaxRetx) {
+      break;  // peer presumed dead; stop re-arming so the executor can drain
+    }
+    ++tcp_retransmits_;
+    trace::Emit<trace::Category::kFault>(trace::EventId::kFaultTcpRetransmit,
+                                         machine_.exec().now(), core_, conn.snd_una,
+                                         static_cast<std::uint64_t>(tries));
+    // Snapshot: ACKs arriving during the resend's suspensions may pop from
+    // the live queue under us.
+    std::vector<TcpConn::SentSeg> window(conn.unacked.begin(), conn.unacked.end());
+    for (const TcpConn::SentSeg& seg : window) {
+      co_await SendTcpRaw(conn, seg.seq, seg.flags, seg.data.data(), seg.data.size());
+    }
+    rto *= 2;
+  }
+  conn.retx_timer_running = false;
 }
 
 NetStack::Listener& NetStack::TcpListen(std::uint16_t port) {
@@ -159,6 +254,7 @@ Task<NetStack::TcpConn*> NetStack::TcpConnect(Ipv4Addr dst_ip, std::uint16_t dst
   c->remote_port = dst_port;
   c->local_port = next_ephemeral_++;
   c->snd_nxt = 1000;  // deterministic ISN
+  c->snd_una = 1000;
   conns_[{dst_ip, dst_port, c->local_port}] = std::move(conn);
   co_await SendTcpSegment(*c, TcpFlags{.syn = true}, nullptr, 0);
   while (!c->established) {
@@ -175,7 +271,7 @@ Task<> NetStack::HandleTcp(const ParsedFrame& f, const Packet& frame) {
     // New connection? Only if someone listens and this is a SYN.
     auto lit = listeners_.find(tcp.dst_port);
     if (lit == listeners_.end() || !tcp.flags.syn) {
-      ++drops_;
+      ++drops_no_listener_;
       co_return;
     }
     auto conn = std::make_unique<TcpConn>(machine_.exec());
@@ -185,6 +281,7 @@ Task<> NetStack::HandleTcp(const ParsedFrame& f, const Packet& frame) {
     c->local_port = tcp.dst_port;
     c->rcv_nxt = tcp.seq + 1;
     c->snd_nxt = 5000;  // deterministic ISN
+    c->snd_una = 5000;
     conns_[key] = std::move(conn);
     co_await SendTcpSegment(*c, TcpFlags{.syn = true, .ack = true}, nullptr, 0);
     c->established = true;  // completes on the client's ACK (lossless link)
@@ -193,6 +290,21 @@ Task<> NetStack::HandleTcp(const ParsedFrame& f, const Packet& frame) {
     co_return;
   }
   TcpConn& c = *it->second;
+  // ACK processing: advance snd_una and retire acknowledged segments. Pure
+  // bookkeeping — no events are scheduled, so lossless runs are unaffected.
+  if (tcp.flags.ack) {
+    if (SeqLt(c.snd_una, tcp.ack) && SeqLe(tcp.ack, c.snd_nxt)) {
+      c.snd_una = tcp.ack;
+      c.dup_acks = 0;
+      while (!c.unacked.empty() &&
+             SeqLe(c.unacked.front().seq + c.unacked.front().seq_len, c.snd_una)) {
+        c.unacked.pop_front();
+      }
+    } else if (tcp.ack == c.snd_una && !c.unacked.empty() && f.payload_len == 0 &&
+               !tcp.flags.syn && !tcp.flags.fin) {
+      ++c.dup_acks;  // recovery itself is timer-driven (go-back-N)
+    }
+  }
   if (tcp.flags.syn && tcp.flags.ack && !c.established) {
     // Our SYN was answered: complete the client side.
     c.rcv_nxt = tcp.seq + 1;
@@ -221,6 +333,15 @@ Task<> NetStack::HandleTcp(const ParsedFrame& f, const Packet& frame) {
   if (advanced) {
     co_await SendTcpSegment(c, TcpFlags{.ack = true}, nullptr, 0);
     c.readable.Signal();
+    co_return;
+  }
+  // A sequence-consuming segment that did not advance rcv_nxt is either a
+  // retransmitted duplicate or arrived past a loss-created hole. Re-announce
+  // rcv_nxt so the peer's go-back-N machinery converges. Loss only exists
+  // under injection, so plain runs never reach this send.
+  if (fault::Injector::active() != nullptr &&
+      (f.payload_len > 0 || tcp.flags.syn || tcp.flags.fin)) {
+    co_await SendTcpSegment(c, TcpFlags{.ack = true}, nullptr, 0);
   }
 }
 

@@ -3,11 +3,13 @@
 // per application").
 //
 // Functionally real: frames are built and parsed with checksums verified;
-// TCP runs a proper handshake/sequence-number state machine (the simulated
-// link is lossless and ordered, so there is no retransmission machinery —
-// documented simplification). Processing costs are charged per frame on the
-// stack's core: a fixed per-packet software cost plus a per-byte checksum
-// cost (the paper's e1000 driver does not use checksum offload).
+// TCP runs a proper handshake/sequence-number state machine with go-back-N
+// retransmission (the retransmit timer is armed only while a fault::Injector
+// is installed — plain runs use a lossless, ordered link and schedule no
+// timer events). Processing costs are charged per frame on the stack's core:
+// a fixed per-packet software cost plus a per-byte checksum cost charged on
+// the L4 payload bytes actually summed (the paper's e1000 driver does not
+// use checksum offload).
 #ifndef MK_NET_STACK_H_
 #define MK_NET_STACK_H_
 
@@ -37,6 +39,13 @@ struct StackCosts {
   Cycles per_packet_out = 2200;  // header build, pbuf, interface hand-off
   double per_byte_checksum = 0.5;  // no hardware checksum offload
 };
+
+// TCP retransmission tuning (used only while a fault::Injector is installed).
+// The RTO comfortably exceeds the modeled RTT; it doubles per consecutive
+// timeout, and after kTcpMaxRetx unanswered rounds the peer is presumed dead
+// and the connection's timer gives up.
+inline constexpr Cycles kTcpRto = 200'000;
+inline constexpr int kTcpMaxRetx = 8;
 
 class NetStack {
  public:
@@ -94,6 +103,20 @@ class NetStack {
     // Sequence state.
     std::uint32_t snd_nxt = 0;
     std::uint32_t rcv_nxt = 0;
+    // Retransmission state. The bookkeeping (snd_una, the unacked queue,
+    // duplicate-ACK count) is maintained unconditionally — it adds no
+    // simulated events — but the retransmit timer that consumes it is only
+    // spawned while a fault::Injector is installed.
+    std::uint32_t snd_una = 0;  // oldest unacknowledged sequence number
+    struct SentSeg {
+      std::uint32_t seq = 0;
+      std::uint32_t seq_len = 0;  // sequence space consumed (payload + SYN/FIN)
+      TcpFlags flags;
+      std::vector<std::uint8_t> data;
+    };
+    std::deque<SentSeg> unacked;
+    int dup_acks = 0;
+    bool retx_timer_running = false;
   };
   class Listener {
    public:
@@ -108,16 +131,31 @@ class NetStack {
   Task<> TcpSend(TcpConn& conn, const std::string& data);
   Task<> TcpClose(TcpConn& conn);
 
-  // Statistics.
+  // Statistics. Drops are counted by cause; drops() is their sum.
   std::uint64_t frames_in() const { return frames_in_; }
   std::uint64_t frames_out() const { return frames_out_; }
-  std::uint64_t drops() const { return drops_; }
+  std::uint64_t drops() const {
+    return drops_bad_frame_ + drops_not_for_us_ + drops_no_listener_ +
+           drops_unknown_proto_;
+  }
+  std::uint64_t drops_bad_frame() const { return drops_bad_frame_; }
+  std::uint64_t drops_not_for_us() const { return drops_not_for_us_; }
+  std::uint64_t drops_no_listener() const { return drops_no_listener_; }
+  std::uint64_t drops_unknown_proto() const { return drops_unknown_proto_; }
+  std::uint64_t tcp_retransmits() const { return tcp_retransmits_; }
 
  private:
   Task<> Emit(Packet frame, std::size_t payload_len);
   Task<> HandleTcp(const ParsedFrame& f, const Packet& frame);
   Task<> SendTcpSegment(TcpConn& conn, TcpFlags flags, const std::uint8_t* data,
                         std::size_t len);
+  // Re-sends a previously sent segment verbatim except for a fresh ack field;
+  // does not advance snd_nxt or touch the unacked queue.
+  Task<> SendTcpRaw(TcpConn& conn, std::uint32_t seq, TcpFlags flags,
+                    const std::uint8_t* data, std::size_t len);
+  // Go-back-N recovery loop for one connection; spawned (at most once per
+  // connection at a time) only while a fault::Injector is installed.
+  Task<> RetransmitTimer(TcpConn& conn);
   MacAddr ResolveMac(Ipv4Addr ip) const;
 
   hw::Machine& machine_;
@@ -136,7 +174,11 @@ class NetStack {
   std::uint16_t ip_ident_ = 1;
   std::uint64_t frames_in_ = 0;
   std::uint64_t frames_out_ = 0;
-  std::uint64_t drops_ = 0;
+  std::uint64_t drops_bad_frame_ = 0;      // truncated or failed a checksum
+  std::uint64_t drops_not_for_us_ = 0;     // valid frame, foreign IP address
+  std::uint64_t drops_no_listener_ = 0;    // no bound socket/listener for the port
+  std::uint64_t drops_unknown_proto_ = 0;  // not IPv4 UDP/TCP
+  std::uint64_t tcp_retransmits_ = 0;
 };
 
 }  // namespace mk::net

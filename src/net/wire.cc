@@ -133,9 +133,19 @@ Packet BuildTcpFrame(const EthHeader& eth, IpHeader ip, const TcpHeader& tcp,
   return p;
 }
 
-std::optional<ParsedFrame> ParseFrame(const Packet& frame) {
-  if (frame.size() < kEthHeaderBytes + kIpHeaderBytes) {
+std::optional<ParsedFrame> ParseFrame(const Packet& frame, ParseInfo* info) {
+  ParseInfo local;
+  if (info == nullptr) {
+    info = &local;
+  }
+  auto fail = [info](ParseError err,
+                     std::size_t summed = 0) -> std::optional<ParsedFrame> {
+    info->error = err;
+    info->payload_len = summed;
     return std::nullopt;
+  };
+  if (frame.size() < kEthHeaderBytes + kIpHeaderBytes) {
+    return fail(ParseError::kTruncated);
   }
   ParsedFrame out;
   const std::uint8_t* d = frame.data();
@@ -143,14 +153,14 @@ std::optional<ParsedFrame> ParseFrame(const Packet& frame) {
   std::copy(d + 6, d + 12, out.eth.src.begin());
   out.eth.ethertype = Get16(d + 12);
   if (out.eth.ethertype != kEtherTypeIpv4) {
-    return std::nullopt;
+    return fail(ParseError::kUnknownProto);
   }
   const std::uint8_t* ip = d + kEthHeaderBytes;
   if ((ip[0] >> 4) != 4 || (ip[0] & 0x0f) != 5) {
-    return std::nullopt;
+    return fail(ParseError::kTruncated);
   }
   if (InternetChecksum(ip, kIpHeaderBytes) != 0) {
-    return std::nullopt;  // corrupt IP header
+    return fail(ParseError::kBadChecksum);  // corrupt IP header
   }
   out.ip.total_length = Get16(ip + 2);
   out.ip.ident = Get16(ip + 4);
@@ -160,34 +170,36 @@ std::optional<ParsedFrame> ParseFrame(const Packet& frame) {
   out.ip.dst = Get32(ip + 16);
   if (out.ip.total_length < kIpHeaderBytes ||
       kEthHeaderBytes + out.ip.total_length > frame.size()) {
-    return std::nullopt;
+    return fail(ParseError::kTruncated);
   }
   const std::uint8_t* l4 = ip + kIpHeaderBytes;
   std::size_t l4_len = out.ip.total_length - kIpHeaderBytes;
   if (out.ip.protocol == kIpProtoUdp) {
     if (l4_len < kUdpHeaderBytes) {
-      return std::nullopt;
+      return fail(ParseError::kTruncated);
     }
     UdpHeader udp;
     udp.src_port = Get16(l4);
     udp.dst_port = Get16(l4 + 2);
     udp.length = Get16(l4 + 4);
     if (udp.length < kUdpHeaderBytes || udp.length > l4_len) {
-      return std::nullopt;
+      return fail(ParseError::kTruncated);
     }
     if (Get16(l4 + 6) != 0 &&
         InternetChecksum(l4, udp.length,
                          PseudoSum(out.ip.src, out.ip.dst, kIpProtoUdp, udp.length)) != 0) {
-      return std::nullopt;  // corrupt UDP payload
+      // Corrupt UDP payload: the whole datagram payload was summed.
+      return fail(ParseError::kBadChecksum, udp.length - kUdpHeaderBytes);
     }
     out.udp = udp;
     out.payload_offset = kEthHeaderBytes + kIpHeaderBytes + kUdpHeaderBytes;
     out.payload_len = udp.length - kUdpHeaderBytes;
+    info->payload_len = out.payload_len;
     return out;
   }
   if (out.ip.protocol == kIpProtoTcp) {
     if (l4_len < kTcpHeaderBytes) {
-      return std::nullopt;
+      return fail(ParseError::kTruncated);
     }
     TcpHeader tcp;
     tcp.src_port = Get16(l4);
@@ -203,14 +215,15 @@ std::optional<ParsedFrame> ParseFrame(const Packet& frame) {
     if (InternetChecksum(l4, l4_len,
                          PseudoSum(out.ip.src, out.ip.dst, kIpProtoTcp,
                                    static_cast<std::uint16_t>(l4_len))) != 0) {
-      return std::nullopt;
+      return fail(ParseError::kBadChecksum, l4_len - kTcpHeaderBytes);
     }
     out.tcp = tcp;
     out.payload_offset = kEthHeaderBytes + kIpHeaderBytes + kTcpHeaderBytes;
     out.payload_len = l4_len - kTcpHeaderBytes;
+    info->payload_len = out.payload_len;
     return out;
   }
-  return std::nullopt;
+  return fail(ParseError::kUnknownProto);
 }
 
 }  // namespace mk::net

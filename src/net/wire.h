@@ -98,7 +98,27 @@ struct ParsedFrame {
   std::size_t payload_len = 0;
 };
 
-std::optional<ParsedFrame> ParseFrame(const Packet& frame);
+// Why a parse failed, and how much payload the parser actually checksummed
+// before giving up. The stack uses this to keep distinct drop counters and to
+// charge checksum cost on a uniform basis (bytes of L4 payload summed),
+// instead of conflating every failure and charging whole-frame sizes.
+enum class ParseError : std::uint8_t {
+  kNone = 0,
+  kTruncated,     // frame/header lengths short or inconsistent
+  kBadChecksum,   // IP, UDP, or TCP checksum mismatch
+  kUnknownProto,  // well-formed but not IPv4 UDP/TCP
+};
+
+struct ParseInfo {
+  ParseError error = ParseError::kNone;
+  // L4 payload bytes the parser ran a checksum over. On success this equals
+  // ParsedFrame::payload_len; on a UDP/TCP checksum failure it is the payload
+  // that was summed before the mismatch was detected; on truncation or an
+  // unknown protocol no payload was summed and it is zero.
+  std::size_t payload_len = 0;
+};
+
+std::optional<ParsedFrame> ParseFrame(const Packet& frame, ParseInfo* info = nullptr);
 
 }  // namespace mk::net
 

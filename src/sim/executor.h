@@ -105,6 +105,12 @@ class Executor {
   // Total events dispatched so far (diagnostics / microbenchmarks).
   std::uint64_t events_dispatched() const { return events_dispatched_; }
 
+  // Events currently queued across all tiers (invariant checks: a fully
+  // drained run must report zero).
+  std::size_t pending_events() const {
+    return near_count_ + far_.size() + (hot_full_ ? 1 : 0);
+  }
+
  private:
   static constexpr Cycles kWindowMask = kNearWindow - 1;
   static constexpr std::size_t kBitmapWords = kNearWindow / 64;

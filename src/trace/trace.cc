@@ -21,6 +21,7 @@ const char* CategoryName(Category c) {
     case Category::kKernel: return "kernel";
     case Category::kMonitor: return "monitor";
     case Category::kNet: return "net";
+    case Category::kFault: return "fault";
     case Category::kNumCategories: break;
   }
   return "?";
@@ -59,6 +60,16 @@ const char* EventName(EventId e) {
     case EventId::kNetTxPush: return "net_tx_push";
     case EventId::kNetTxWire: return "net_tx_wire";
     case EventId::kNetIrq: return "net_irq";
+    case EventId::kFaultCoreHalt: return "fault_core_halt";
+    case EventId::kFaultIpiDrop: return "fault_ipi_drop";
+    case EventId::kFaultIpiDelay: return "fault_ipi_delay";
+    case EventId::kFaultFrameDrop: return "fault_frame_drop";
+    case EventId::kFaultFrameCorrupt: return "fault_frame_corrupt";
+    case EventId::kFaultLinkSpike: return "fault_link_spike";
+    case EventId::kFault2pcTimeout: return "fault_2pc_timeout";
+    case EventId::kFaultExcludeCore: return "fault_exclude_core";
+    case EventId::kFaultTcpRetransmit: return "fault_tcp_retransmit";
+    case EventId::kFaultNsEvict: return "fault_ns_evict";
     case EventId::kNumEvents: break;
   }
   return "?";

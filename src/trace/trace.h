@@ -54,6 +54,7 @@ enum class Category : std::uint8_t {
   kKernel,     // syscall, trap, LRPC, upcall paths
   kMonitor,    // collectives, 2PC phases, capability ops
   kNet,        // NIC DMA, interrupts, driver rings
+  kFault,      // injected faults and recovery actions (mk::fault)
   kNumCategories,
 };
 
@@ -109,6 +110,16 @@ enum class EventId : std::uint8_t {
   kNetTxPush,      // span; arg0 = frame bytes
   kNetTxWire,      // arg0 = frame bytes
   kNetIrq,         // RX interrupt raised
+  kFaultCoreHalt,       // arg0 = halted core (first observation)
+  kFaultIpiDrop,        // arg0 = destination core, arg1 = vector
+  kFaultIpiDelay,       // arg0 = destination core, arg1 = extra cycles
+  kFaultFrameDrop,      // arg0 = frame bytes (RX or TX per arg1: 0=rx, 1=tx)
+  kFaultFrameCorrupt,   // arg0 = frame bytes
+  kFaultLinkSpike,      // arg0 = extra cycles charged
+  kFault2pcTimeout,     // arg0 = op id, arg1 = phase attempt
+  kFaultExcludeCore,    // arg0 = excluded core
+  kFaultTcpRetransmit,  // arg0 = seq, arg1 = retransmission number
+  kFaultNsEvict,        // arg0 = service id, arg1 = dead owner core
   kNumEvents,
 };
 

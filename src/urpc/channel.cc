@@ -147,13 +147,70 @@ Task<Message> Channel::RecvBlocking(kernel::CpuDriver& local, kernel::CpuDriver&
                                             machine_.exec().now(), receiver_);
         co_await wake.Wait();
       } else {
+        // The message landed between RegisterBlocked and the posted flag
+        // write. Cancel the registration and invalidate the published token:
+        // a sender that already sampled the blocked flag may still post a
+        // wake-up IPI, and it must carry a token that maps to nothing rather
+        // than a token a future blocker could be reissued. (Wake-up IPIs
+        // carry their token in the payload for the same reason: tokens
+        // matched FIFO against arrival order could wake the wrong task when
+        // senders sit at different hop distances.)
         local.CancelBlocked(wake_token_);
+        wake_token_ = 0;
       }
       receiver_blocked_ = false;
     }
   }
   while (queue_.empty()) {
     co_await readable_.Wait();  // spurious wake-up guard
+  }
+  co_return co_await Consume();
+}
+
+Task<std::optional<Message>> Channel::RecvTimeout(kernel::CpuDriver& local,
+                                                  kernel::CpuDriver& sender_driver,
+                                                  Cycles poll_window, Cycles timeout) {
+  receiver_driver_ = &local;
+  sender_driver_ = &sender_driver;
+  if (queue_.empty()) {
+    bool arrived = false;
+    if (poll_window > 0) {
+      arrived = co_await readable_.WaitTimeout(poll_window);
+    }
+    if (!arrived && queue_.empty()) {
+      sim::Event wake(machine_.exec());
+      wake_token_ = local.RegisterBlocked(&wake);
+      receiver_blocked_ = true;
+      co_await machine_.mem().WritePosted(receiver_, blocked_addr_);
+      if (queue_.empty()) {
+        trace::Emit<trace::Category::kUrpc>(trace::EventId::kUrpcBlock,
+                                            machine_.exec().now(), receiver_);
+        bool woken = co_await wake.WaitTimeout(timeout);
+        if (!woken) {
+          // Timed out: deregister before `wake` dies with this frame so a
+          // late wake-up IPI finds no registration instead of a dangling
+          // event pointer.
+          local.CancelBlocked(wake_token_);
+          wake_token_ = 0;
+          receiver_blocked_ = false;
+          if (queue_.empty()) {
+            co_return std::nullopt;
+          }
+        }
+      } else {
+        local.CancelBlocked(wake_token_);
+        wake_token_ = 0;
+      }
+      receiver_blocked_ = false;
+    }
+  }
+  while (queue_.empty()) {
+    // Spurious wake-up guard, still bounded: the sender may have died after
+    // waking us but before writing the message.
+    bool ok = co_await readable_.WaitTimeout(timeout);
+    if (!ok && queue_.empty()) {
+      co_return std::nullopt;
+    }
   }
   co_return co_await Consume();
 }

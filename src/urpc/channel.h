@@ -21,6 +21,7 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <type_traits>
 
 #include "hw/machine.h"
@@ -106,6 +107,15 @@ class Channel {
   // core). Drivers are those of the receiver and sender cores.
   Task<Message> RecvBlocking(kernel::CpuDriver& local, kernel::CpuDriver& sender_driver,
                              Cycles poll_window);
+
+  // RecvBlocking with a bound on the blocked wait: returns nullopt if no
+  // message arrives within `timeout` cycles of blocking. This is the recovery
+  // path for receivers whose sender may have fail-stop halted (a plain
+  // RecvBlocking would sleep forever); the registration is cancelled on
+  // timeout so no blocked-waiter entry leaks.
+  Task<std::optional<Message>> RecvTimeout(kernel::CpuDriver& local,
+                                           kernel::CpuDriver& sender_driver,
+                                           Cycles poll_window, Cycles timeout);
 
   // Non-blocking: if a message is pending, receives it (charging the fetch)
   // and returns true.

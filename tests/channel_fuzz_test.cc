@@ -167,5 +167,103 @@ TEST(ChannelBlocking, RandomArrivalsWithPollThenBlock) {
   EXPECT_GT(m.counters().core(4).ipis_received, 0u);
 }
 
+TEST(ChannelBlocking, RecheckWindowSweepNeverStrandsOrMisdirectsWakeups) {
+  // Hammers the RecvBlocking re-check window (RegisterBlocked -> posted
+  // blocked-flag write): by sweeping the send instant in fine steps across
+  // the block transition, some runs land the message exactly inside the
+  // window. The receiver must then cancel its registration AND invalidate
+  // the published wake token, so a sender that already sampled the blocked
+  // flag posts a wake-up that maps to nothing — it must neither strand the
+  // re-check path nor steal the wake-up of the unrelated waiter blocked on
+  // the second channel of the same core.
+  for (Cycles offset = 700; offset <= 2600; offset += 20) {
+    sim::Executor exec;
+    hw::Machine m(exec, hw::Amd8x4());
+    auto drivers = CpuDriver::BootAll(m);
+    Channel near_ch(m, 1, 4);   // sender one hop away
+    Channel far_ch(m, 28, 4);   // distant sender, same receiver core
+    int got_near = -1;
+    int got_far = -1;
+    exec.Spawn([](hw::Machine& mm, Channel& c, Cycles at) -> Task<> {
+      co_await mm.exec().Delay(at);
+      co_await c.Send(Pack(0, 7));
+    }(m, near_ch, offset));
+    exec.Spawn([](hw::Machine& mm, Channel& c) -> Task<> {
+      co_await mm.exec().Delay(40000);  // long after the near channel's race
+      co_await c.Send(Pack(0, 9));
+    }(m, far_ch));
+    exec.Spawn([](Channel& c, CpuDriver& local, CpuDriver& snd, int& out) -> Task<> {
+      out = Unpack<int>(co_await c.RecvBlocking(local, snd, 1000));
+    }(near_ch, *drivers[4], *drivers[1], got_near));
+    exec.Spawn([](Channel& c, CpuDriver& local, CpuDriver& snd, int& out) -> Task<> {
+      out = Unpack<int>(co_await c.RecvBlocking(local, snd, 1000));
+    }(far_ch, *drivers[4], *drivers[28], got_far));
+    exec.Run();
+    EXPECT_EQ(got_near, 7) << "send offset " << offset;
+    EXPECT_EQ(got_far, 9) << "send offset " << offset;
+    EXPECT_EQ(drivers[4]->blocked_count(), 0u)
+        << "leaked blocked registration at offset " << offset;
+    EXPECT_EQ(exec.live_tasks(), 0u) << "stranded waiter at offset " << offset;
+  }
+}
+
+TEST(ChannelBlocking, TwoChannelsOneCoreBlockingFuzzIsExactAndDeterministic) {
+  // Randomized version of the sweep: two senders at different hop distances
+  // funnel into blocking receivers on one core, so blocked registrations,
+  // in-flight wake IPIs, and re-check cancellations interleave on every
+  // message. Exactly-once in-order delivery per channel, no leaked
+  // registrations, and bit-identical replay.
+  auto run = [](std::uint64_t seed, std::vector<int>* a_out, std::vector<int>* b_out,
+                std::size_t* leaked) {
+    sim::Executor exec;
+    hw::Machine m(exec, hw::Amd8x4());
+    auto drivers = CpuDriver::BootAll(m);
+    Channel a(m, 1, 4);
+    Channel b(m, 28, 4);
+    const int kMessages = 120;
+    auto sender = [](hw::Machine& mm, Channel& ch, int n, std::uint64_t s) -> Task<> {
+      sim::Rng rng(s);
+      for (int i = 0; i < n; ++i) {
+        // Gaps straddle the poll window so roughly half the receives block,
+        // and many sends land inside the block transition.
+        co_await mm.exec().Delay(rng.Below(2600));
+        co_await ch.Send(Pack(0, i));
+      }
+    };
+    auto receiver = [](Channel& ch, CpuDriver& local, CpuDriver& snd, int n,
+                       std::vector<int>* got) -> Task<> {
+      for (int i = 0; i < n; ++i) {
+        got->push_back(Unpack<int>(co_await ch.RecvBlocking(local, snd, 1000)));
+      }
+    };
+    exec.Spawn(sender(m, a, kMessages, seed));
+    exec.Spawn(sender(m, b, kMessages, seed + 1));
+    exec.Spawn(receiver(a, *drivers[4], *drivers[1], kMessages, a_out));
+    exec.Spawn(receiver(b, *drivers[4], *drivers[28], kMessages, b_out));
+    Cycles end = exec.Run();
+    EXPECT_EQ(exec.live_tasks(), 0u) << "stranded waiter, seed " << seed;
+    *leaked = drivers[4]->blocked_count();
+    return end;
+  };
+  for (std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    std::vector<int> a1, b1, a2, b2;
+    std::size_t leaked1 = 0;
+    std::size_t leaked2 = 0;
+    Cycles end1 = run(seed, &a1, &b1, &leaked1);
+    Cycles end2 = run(seed, &a2, &b2, &leaked2);
+    ASSERT_EQ(a1.size(), 120u) << "seed " << seed;
+    ASSERT_EQ(b1.size(), 120u) << "seed " << seed;
+    for (int i = 0; i < 120; ++i) {
+      ASSERT_EQ(a1[static_cast<std::size_t>(i)], i) << "seed " << seed;
+      ASSERT_EQ(b1[static_cast<std::size_t>(i)], i) << "seed " << seed;
+    }
+    EXPECT_EQ(leaked1, 0u) << "seed " << seed;
+    EXPECT_EQ(leaked2, 0u) << "seed " << seed;
+    EXPECT_EQ(end1, end2) << "nondeterministic replay, seed " << seed;
+    EXPECT_EQ(a1, a2);
+    EXPECT_EQ(b1, b2);
+  }
+}
+
 }  // namespace
 }  // namespace mk::urpc

@@ -14,10 +14,13 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.h"
 #include "hw/machine.h"
 #include "hw/platform.h"
 #include "kernel/cpu_driver.h"
 #include "monitor/monitor.h"
+#include "net/stack.h"
+#include "net/wire.h"
 #include "sim/executor.h"
 #include "skb/skb.h"
 #include "trace/trace.h"
@@ -118,6 +121,150 @@ TEST(Determinism, TracingDoesNotPerturbTheSchedule) {
   EXPECT_EQ(baseline.final_now, masked_run.final_now);
   EXPECT_EQ(baseline.events_dispatched, masked_run.events_dispatched);
   EXPECT_EQ(baseline.latencies, masked_run.latencies);
+}
+
+// Fault injection is schedule-driven and seeded, so a fixed plan must replay
+// bit-identically too — that is what makes an injected failure debuggable at
+// all (MGSim's argument for deterministic fault schedules). Two fixtures: a
+// core killed mid-2PC, and random NIC loss under a TCP transfer.
+
+struct FaultRunResult {
+  Cycles final_now = 0;
+  std::uint64_t events_dispatched = 0;
+  std::vector<Cycles> latencies;
+  int attempts_total = 0;
+  bool all_committed = true;
+  bool killed_core_failed = false;
+};
+
+Task<> FaultRetypeOps(System& s, std::vector<caps::CapId> roots, FaultRunResult& out) {
+  for (caps::CapId root : roots) {
+    auto r = co_await s.sys.on(0).GlobalRetype(root, caps::CapType::kFrame, 4096, 1,
+                                               Protocol::kNumaMulticast, {},
+                                               /*ncores=*/8);
+    out.all_committed = out.all_committed && r.committed;
+    out.attempts_total += r.attempts;
+    out.latencies.push_back(r.latency);
+    co_await s.exec.Delay(20000);
+  }
+  s.sys.Shutdown();
+}
+
+FaultRunResult RunKillOneCoreTwoPhaseWorkload() {
+  // Core 5 participates in the 8-core collective and dies mid-2PC (the halt
+  // cycle lands inside the second retype's prepare phase): the in-flight
+  // phase times out, the initiator presumes abort, the detector excludes the
+  // corpse, and the remaining retypes commit among survivors.
+  fault::FaultPlan plan;
+  plan.HaltCore(5, /*at=*/100'000);
+  fault::Injector inj(plan);
+  inj.Install();
+  FaultRunResult out;
+  {
+    System s;
+    std::vector<caps::CapId> roots;
+    for (int i = 0; i < 4; ++i) {
+      roots.push_back(s.sys.InstallRootCap(static_cast<std::uint64_t>(i) << 24, 1 << 24));
+    }
+    s.exec.Spawn(FaultRetypeOps(s, roots, out));
+    s.exec.Run();
+    out.final_now = s.exec.now();
+    out.events_dispatched = s.exec.events_dispatched();
+    out.killed_core_failed = s.sys.CoreFailed(5);
+  }
+  inj.Uninstall();
+  return out;
+}
+
+struct NetRunResult {
+  Cycles final_now = 0;
+  std::uint64_t events_dispatched = 0;
+  std::size_t bytes_received = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t frames_lost = 0;
+};
+
+constexpr net::MacAddr kMacA{0x02, 0, 0, 0, 0, 0xaa};
+constexpr net::MacAddr kMacB{0x02, 0, 0, 0, 0, 0xbb};
+constexpr net::Ipv4Addr kIpA = net::MakeIp(10, 0, 0, 1);
+constexpr net::Ipv4Addr kIpB = net::MakeIp(10, 0, 0, 2);
+
+NetRunResult RunLossyNetperfWorkload() {
+  // The netperf shape (one-way TCP stream) over a link whose losses are the
+  // plan's seeded RX-drop stream; go-back-N recovers every byte.
+  fault::FaultPlan plan;
+  plan.RandomRxLoss(/*rate=*/0.15, /*seed=*/7);
+  fault::Injector inj(plan);
+  inj.Install();
+  NetRunResult out;
+  {
+    sim::Executor exec;
+    hw::Machine machine(exec, hw::Amd2x2());
+    net::NetStack a(machine, 0, kIpA, kMacA);
+    net::NetStack b(machine, 2, kIpB, kMacB);
+    a.AddArp(kIpB, kMacB);
+    b.AddArp(kIpA, kMacA);
+    auto lossy = [&exec](net::NetStack& dst, net::Packet p) -> Task<> {
+      if (fault::Injector::active()->ShouldDropRxFrame(exec.now())) {
+        co_return;
+      }
+      co_await dst.Input(std::move(p));
+    };
+    a.SetOutput([&](net::Packet p) -> Task<> { co_await lossy(b, std::move(p)); });
+    b.SetOutput([&](net::Packet p) -> Task<> { co_await lossy(a, std::move(p)); });
+    auto& listener = b.TcpListen(80);
+    exec.Spawn([](net::NetStack::Listener& l, std::size_t& received) -> Task<> {
+      net::NetStack::TcpConn* conn = co_await l.Accept();
+      while (received < 6000) {
+        auto chunk = co_await conn->Read();
+        if (chunk.empty() && conn->peer_closed) {
+          break;
+        }
+        received += chunk.size();
+      }
+    }(listener, out.bytes_received));
+    exec.Spawn([](net::NetStack& stack) -> Task<> {
+      net::NetStack::TcpConn* conn = co_await stack.TcpConnect(kIpB, 80);
+      std::vector<std::uint8_t> payload(6000, 0x5a);
+      co_await stack.TcpSend(*conn, payload.data(), payload.size());
+    }(a));
+    exec.Run();
+    out.final_now = exec.now();
+    out.events_dispatched = exec.events_dispatched();
+    out.retransmits = a.tcp_retransmits() + b.tcp_retransmits();
+    out.frames_lost = inj.injected(fault::FaultKind::kNicRxDrop);
+  }
+  inj.Uninstall();
+  return out;
+}
+
+TEST(Determinism, KillOneCoreFaultPlanReplaysBitIdentically) {
+  FaultRunResult a = RunKillOneCoreTwoPhaseWorkload();
+  FaultRunResult b = RunKillOneCoreTwoPhaseWorkload();
+  EXPECT_EQ(a.final_now, b.final_now);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.latencies, b.latencies);
+  EXPECT_EQ(a.attempts_total, b.attempts_total);
+  // The fig8 recovery claim: every retype committed among the survivors via
+  // presumed abort, the dead core was detected, and at least one round was
+  // a timed-out attempt that had to be retried.
+  EXPECT_TRUE(a.all_committed);
+  EXPECT_TRUE(a.killed_core_failed);
+  ASSERT_EQ(a.latencies.size(), 4u);
+  EXPECT_GT(a.attempts_total, 4);
+}
+
+TEST(Determinism, NicLossFaultPlanReplaysBitIdentically) {
+  NetRunResult a = RunLossyNetperfWorkload();
+  NetRunResult b = RunLossyNetperfWorkload();
+  EXPECT_EQ(a.final_now, b.final_now);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.frames_lost, b.frames_lost);
+  // Loss really happened and recovery really delivered everything.
+  EXPECT_EQ(a.bytes_received, 6000u);
+  EXPECT_GT(a.frames_lost, 0u);
+  EXPECT_GT(a.retransmits, 0u);
 }
 
 }  // namespace

@@ -317,7 +317,7 @@ TEST(Ipi, DeliveryInvokesHandlerAfterWireDelay) {
   Machine m(exec, Amd4x4());
   Cycles delivered_at = 0;
   int got_vector = -1;
-  m.ipi().SetHandler(5, [&](int vector) {
+  m.ipi().SetHandler(5, [&](int vector, std::uint64_t) {
     delivered_at = exec.now();
     got_vector = vector;
   });

@@ -140,6 +140,57 @@ TEST(MonitorSystem, AbortedRetypeLeavesNoLocks) {
   EXPECT_TRUE(f.sys.ReplicasConsistent());
 }
 
+TEST(MonitorSystem, TwoPcOutcomeDistinguishesAbortFromExhaustedRetries) {
+  // Regression: committed=false used to be the only signal, conflating a
+  // clean validation abort with burning the whole retry budget, and latency
+  // silently included losing-attempt backoff.
+  Fixture f;
+  caps::CapId root = f.sys.InstallRootCap(0, 64 << 20);
+  f.exec.Spawn([](Fixture& fx, caps::CapId r) -> Task<> {
+    // An illegal retype (too large) is a permanent validation failure: it
+    // must abort on the first attempt without wasting the retry budget.
+    auto aborted = co_await fx.sys.on(3).GlobalRetype(r, caps::CapType::kFrame, 1 << 30,
+                                                      1, Protocol::kMulticast);
+    EXPECT_FALSE(aborted.committed);
+    EXPECT_EQ(aborted.outcome, Monitor::TwoPcOutcome::kAborted);
+    EXPECT_EQ(aborted.attempts, 1);
+    EXPECT_EQ(aborted.backoff, 0u);
+
+    // Force a conflict that never resolves: lock the target on one replica
+    // with a prepare whose op never commits or aborts. Every 2PC prepare on
+    // that replica now votes no-with-kConflict, so the initiator retries
+    // until the budget (12 attempts) is exhausted.
+    caps::CapDb::PreparedOp wedge;
+    wedge.op_id = 0xdead;
+    wedge.target = r;
+    wedge.new_type = caps::CapType::kFrame;
+    wedge.child_bytes = 4096;
+    wedge.count = 1;
+    EXPECT_EQ(fx.sys.on(9).caps().Prepare(wedge), caps::CapErr::kOk);
+    auto exhausted = co_await fx.sys.on(0).GlobalRetype(r, caps::CapType::kFrame, 4096,
+                                                        1, Protocol::kNumaMulticast);
+    EXPECT_FALSE(exhausted.committed);
+    EXPECT_EQ(exhausted.outcome, Monitor::TwoPcOutcome::kRetriesExhausted);
+    EXPECT_EQ(exhausted.attempts, 12);
+    EXPECT_GT(exhausted.backoff, 0u);
+    // latency is end-to-end; the backoff portion is now attributable, so
+    // protocol-cost measurements can subtract it.
+    EXPECT_GT(exhausted.latency, exhausted.backoff);
+
+    // Release the wedge: the very next attempt commits first try.
+    fx.sys.on(9).caps().Abort(0xdead);
+    auto committed = co_await fx.sys.on(0).GlobalRetype(r, caps::CapType::kFrame, 4096,
+                                                        1, Protocol::kNumaMulticast);
+    EXPECT_TRUE(committed.committed);
+    EXPECT_EQ(committed.outcome, Monitor::TwoPcOutcome::kCommitted);
+    EXPECT_EQ(committed.attempts, 1);
+    EXPECT_EQ(committed.backoff, 0u);
+    fx.sys.Shutdown();
+  }(f, root));
+  f.exec.Run();
+  EXPECT_TRUE(f.sys.ReplicasConsistent());
+}
+
 TEST(MonitorSystem, GlobalRevokeClearsDescendantsEverywhere) {
   Fixture f;
   caps::CapId root = f.sys.InstallRootCap(0, 64 << 20);

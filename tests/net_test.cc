@@ -235,6 +235,78 @@ TEST(Stack, UdpToUnboundPortIsDropped) {
   EXPECT_EQ(f.b.drops(), 1u);
 }
 
+Packet ValidUdpFrame(Ipv4Addr dst_ip, std::uint16_t dst_port, std::size_t bytes) {
+  EthHeader eth{kMacB, kMacA, kEtherTypeIpv4};
+  IpHeader ip;
+  ip.src = kIpA;
+  ip.dst = dst_ip;
+  UdpHeader udp;
+  udp.src_port = 555;
+  udp.dst_port = dst_port;
+  std::vector<std::uint8_t> payload(bytes, 0x5a);
+  return BuildUdpFrame(eth, ip, udp, payload.data(), payload.size());
+}
+
+TEST(Stack, DropCountersAttributeEachCause) {
+  // The single drops_ counter used to conflate four different fates; each
+  // cause now has its own counter (fault-injection stats need attribution).
+  sim::Executor exec;
+  hw::Machine m(exec, hw::Amd2x2());
+  NetStack s(m, 0, kIpB, kMacB);
+  s.UdpBind(7);
+  Packet corrupt = ValidUdpFrame(kIpB, 7, 64);
+  corrupt.back() ^= 0xff;  // payload bit flip: UDP checksum mismatch
+  Packet truncated(10, 0);
+  Packet foreign_ethertype = ValidUdpFrame(kIpB, 7, 64);
+  foreign_ethertype[12] = 0x08;  // ethertype ARP: well-formed, not IPv4
+  foreign_ethertype[13] = 0x06;
+  exec.Spawn([](NetStack& st, Packet c, Packet t, Packet e) -> Task<> {
+    co_await st.Input(ValidUdpFrame(kIpB, 7, 64));                  // delivered
+    co_await st.Input(std::move(c));                                // bad checksum
+    co_await st.Input(std::move(t));                                // truncated
+    co_await st.Input(ValidUdpFrame(MakeIp(10, 9, 9, 9), 7, 64));   // not our IP
+    co_await st.Input(ValidUdpFrame(kIpB, 99, 64));                 // unbound port
+    co_await st.Input(std::move(e));                                // unknown proto
+  }(s, std::move(corrupt), std::move(truncated), std::move(foreign_ethertype)));
+  exec.Run();
+  EXPECT_EQ(s.frames_in(), 6u);
+  EXPECT_EQ(s.drops_bad_frame(), 2u);  // checksum + truncated
+  EXPECT_EQ(s.drops_not_for_us(), 1u);
+  EXPECT_EQ(s.drops_no_listener(), 1u);
+  EXPECT_EQ(s.drops_unknown_proto(), 1u);
+  EXPECT_EQ(s.drops(), 5u);  // the sum, for callers that don't care why
+}
+
+TEST(Stack, ChecksumCostIsChargedOnPayloadBytesSummedUniformly) {
+  // The parse-failure path used to charge the checksum cost on frame.size()
+  // while the success path charged payload_len. The basis is now uniform:
+  // the L4 payload bytes the parser actually summed.
+  auto cost_of = [](Packet frame) {
+    sim::Executor exec;
+    hw::Machine m(exec, hw::Amd2x2());
+    NetStack s(m, 0, kIpB, kMacB);
+    s.UdpBind(7);
+    exec.Spawn(
+        [](NetStack& st, Packet f) -> Task<> { co_await st.Input(std::move(f)); }(
+            s, std::move(frame)));
+    return exec.Run();
+  };
+  Cycles delivered = cost_of(ValidUdpFrame(kIpB, 7, 256));
+  Packet corrupt = ValidUdpFrame(kIpB, 7, 256);
+  corrupt.back() ^= 0xff;
+  // A corrupt payload was summed in full before the mismatch was detected:
+  // same basis, same charge as the delivered frame.
+  EXPECT_EQ(cost_of(std::move(corrupt)), delivered);
+  // A frame rejected before any L4 checksum ran (truncated / non-IPv4) sums
+  // nothing and pays only the fixed per-packet cost.
+  Cycles truncated = cost_of(Packet(10, 0));
+  EXPECT_LT(truncated, delivered);
+  Packet arp = ValidUdpFrame(kIpB, 7, 256);
+  arp[12] = 0x08;
+  arp[13] = 0x06;
+  EXPECT_EQ(cost_of(std::move(arp)), truncated);
+}
+
 TEST(Stack, TcpConnectTransferClose) {
   StackPair f;
   auto& listener = f.b.TcpListen(80);

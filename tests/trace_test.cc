@@ -64,6 +64,10 @@ TEST(TracerRing, PerCoreRingsAreIndependent) {
 }
 
 TEST(TracerMask, RuntimeMaskFiltersCategories) {
+  if ((kCompiledCategories & (CategoryBit(Category::kIpi) | CategoryBit(Category::kExec))) !=
+      (CategoryBit(Category::kIpi) | CategoryBit(Category::kExec))) {
+    GTEST_SKIP() << "needs ipi+exec trace points compiled in";
+  }
   {
     Tracer t(64, CategoryBit(Category::kIpi));  // everything but IPI masked off
     t.Install();
@@ -124,6 +128,9 @@ Task<> FuzzReceiver(hw::Machine& m, urpc::Channel& ch, int count, std::uint64_t 
 }
 
 TEST(TraceFlows, UrpcFlowsPairOneSendWithOneReceive) {
+  if ((kCompiledCategories & CategoryBit(Category::kUrpc)) == 0) {
+    GTEST_SKIP() << "needs urpc trace points compiled in";
+  }
   Tracer t(/*capacity_per_core=*/1 << 16);
   t.Install();
   constexpr int kMessages = 150;
@@ -164,6 +171,9 @@ TEST(TraceFlows, UrpcFlowsPairOneSendWithOneReceive) {
 }
 
 TEST(TraceFlows, IpiFlowsPairAcrossCoresAndMatchPerfCounters) {
+  if ((kCompiledCategories & CategoryBit(Category::kIpi)) == 0) {
+    GTEST_SKIP() << "needs ipi trace points compiled in";
+  }
   Tracer t(/*capacity_per_core=*/1 << 16);
   t.Install();
   sim::Executor exec;
@@ -226,6 +236,10 @@ TEST(TraceAggregates, TlbEventCountsMatchPerfCounters) {
   exec.Run();
   t.Uninstall();
   const hw::CoreCounters total = m.counters().Total();
+  if ((kCompiledCategories & CategoryBit(Category::kTlb)) == 0) {
+    EXPECT_EQ(total.tlb_invalidations, 4u);  // counters advance regardless
+    return;
+  }
   EXPECT_EQ(t.event_count(EventId::kTlbInvalidate) + t.event_count(EventId::kTlbFlush),
             total.tlb_invalidations);
   EXPECT_EQ(t.event_count(EventId::kTlbInvalidate), 2u);
@@ -338,6 +352,13 @@ class JsonChecker {
 };
 
 TEST(TraceExport, PerfettoJsonIsValidAndCarriesExpectedKeys) {
+  // The record-content assertions need the urpc/ipi/kernel trace points in
+  // the binary; under MK_TRACE_ENABLED=0 (the CI matrix leg) the exporter
+  // still must produce valid, empty JSON.
+  const bool compiled_in =
+      (kCompiledCategories &
+       (CategoryBit(Category::kUrpc) | CategoryBit(Category::kIpi))) ==
+      (CategoryBit(Category::kUrpc) | CategoryBit(Category::kIpi));
   Tracer t(/*capacity_per_core=*/1 << 14);
   t.Install();
   t.BeginRun("export-test");
@@ -367,6 +388,9 @@ TEST(TraceExport, PerfettoJsonIsValidAndCarriesExpectedKeys) {
   // Top-level Perfetto keys.
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  if (!compiled_in) {
+    return;
+  }
   // Track metadata, spans, instants, and both flow endpoints.
   EXPECT_NE(json.find("\"process_name\""), std::string::npos);
   EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
@@ -394,12 +418,16 @@ TEST(TraceExport, SummaryTotalsAreConsistent) {
   Summary s = Summarize(t);
   EXPECT_EQ(s.total, t.total_records());
   EXPECT_EQ(s.retained + s.dropped, s.total);
-  EXPECT_GT(s.dropped, 0u);
+  if ((kCompiledCategories & CategoryBit(Category::kExec)) != 0) {
+    EXPECT_GT(s.dropped, 0u);  // the tiny ring must have wrapped
+  }
   EXPECT_EQ(s.events[static_cast<std::size_t>(EventId::kExecCycle)],
             s.categories[static_cast<std::size_t>(Category::kExec)].count);
   std::ostringstream text;
   PrintSummary(t, text);
-  EXPECT_NE(text.str().find("exec"), std::string::npos);
+  if ((kCompiledCategories & CategoryBit(Category::kExec)) != 0) {
+    EXPECT_NE(text.str().find("exec"), std::string::npos);
+  }
 }
 
 }  // namespace
