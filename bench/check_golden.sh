@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Golden-output regression gate.
+#
+# Every paper bench is deterministic (simulated cycles, seeded RNG), so its
+# stdout must reproduce bench/golden/<bench>.txt byte-for-byte. Any drift —
+# an intended recalibration or an accidental perturbation of the event
+# schedule — fails this gate and must be reviewed; refresh the goldens
+# explicitly once the new numbers are understood:
+#
+#   bench/check_golden.sh             # verify; exit 1 on any byte difference
+#   bench/check_golden.sh --update    # rewrite goldens from a fresh run
+#
+# BUILD_DIR selects the build tree (default: build). Binaries must already be
+# built; this script never compiles.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+GOLDEN_DIR=bench/golden
+
+BENCHES=(
+  table1_lrpc
+  table2_urpc
+  table3_ipc
+  table4_loopback
+  fig3_shm_vs_msg
+  fig6_shootdown
+  fig7_unmap
+  fig8_twopc
+  fig9_compute
+  sec54_netperf
+  sec54_webserver
+  sec54_scaleout
+  polling_model
+  ablation_urpc
+)
+
+update=0
+if [[ "${1:-}" == "--update" ]]; then
+  update=1
+  mkdir -p "$GOLDEN_DIR"
+fi
+
+fail=0
+for b in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "check_golden: missing binary $bin (build first)" >&2
+    exit 2
+  fi
+  if [[ $update == 1 ]]; then
+    "$bin" > "$GOLDEN_DIR/$b.txt"
+    echo "updated: $b"
+    continue
+  fi
+  if [[ ! -f "$GOLDEN_DIR/$b.txt" ]]; then
+    echo "GOLDEN MISSING: $GOLDEN_DIR/$b.txt (run with --update)" >&2
+    fail=1
+    continue
+  fi
+  if diff -u "$GOLDEN_DIR/$b.txt" <("$bin") > /tmp/golden_diff_$b; then
+    echo "ok: $b"
+  else
+    echo "GOLDEN MISMATCH: $b" >&2
+    cat /tmp/golden_diff_$b >&2
+    fail=1
+  fi
+done
+
+if [[ $fail != 0 ]]; then
+  echo "check_golden: FAILED — output drifted from bench/golden/" >&2
+fi
+exit $fail

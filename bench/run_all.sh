@@ -28,6 +28,7 @@ BENCHES=(
   fig9_compute
   sec54_netperf
   sec54_webserver
+  sec54_scaleout
   polling_model
   ablation_urpc
 )

@@ -1,0 +1,87 @@
+#include "apps/dbshard.h"
+
+#include <cstring>
+#include <variant>
+
+namespace mk::apps {
+namespace {
+
+// Request-channel poison tag (same sentinel sec54_webserver's DbServer uses).
+constexpr std::uint64_t kShutdownTag = 0xdead;
+
+}  // namespace
+
+DbReplicaCluster::DbReplicaCluster(hw::Machine& machine, const Database& source,
+                                   std::vector<ShardPlacement> placements)
+    : machine_(machine) {
+  shards_.reserve(placements.size());
+  for (const ShardPlacement& p : placements) {
+    shards_.push_back(std::make_unique<Shard>(machine_, p, source));
+  }
+}
+
+Task<> DbReplicaCluster::Serve(int shard) {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  while (true) {
+    // Reassemble the SQL text from URPC fragments (tag 2 = more, 1 = final).
+    std::string sql;
+    while (true) {
+      urpc::Message msg = co_await s.queries.Recv();
+      if (msg.tag == kShutdownTag) {
+        co_return;
+      }
+      sql.append(reinterpret_cast<const char*>(msg.bytes.data()), msg.len);
+      if (msg.tag == 1) {
+        break;
+      }
+    }
+    auto result = s.db.Query(sql);
+    std::string rendered;
+    std::uint64_t scanned = 0;
+    if (std::holds_alternative<Database::ResultSet>(result)) {
+      auto& rs = std::get<Database::ResultSet>(result);
+      scanned = rs.rows_scanned;
+      for (const auto& row : rs.rows) {
+        for (const auto& v : row) {
+          rendered += DbValueToString(v);
+          rendered += '|';
+        }
+        rendered += '\n';
+      }
+    } else {
+      rendered = "error: " + std::get<DbError>(result).message;
+    }
+    // Parse + per-row scan cost on this shard's own core (the cost model of
+    // the single-DB bench, now paid in parallel across replicas).
+    co_await machine_.Compute(s.placement.db_core, 5000 + scanned * 25);
+    ++s.served;
+    co_await s.replies.Send(
+        net::Packet(rendered.begin(), rendered.end()));
+  }
+}
+
+Task<std::string> DbReplicaCluster::Query(int shard, std::string sql) {
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  co_await s.rpc_slot.Acquire();
+  for (std::size_t off = 0; off < sql.size(); off += urpc::Message::kPayloadBytes) {
+    urpc::Message msg;
+    msg.tag = off + urpc::Message::kPayloadBytes >= sql.size() ? 1 : 2;
+    msg.len = static_cast<std::uint32_t>(
+        std::min(urpc::Message::kPayloadBytes, sql.size() - off));
+    std::memcpy(msg.bytes.data(), sql.data() + off, msg.len);
+    co_await s.queries.Send(msg);
+  }
+  net::Packet reply = co_await s.replies.Recv();
+  s.rpc_slot.Release();
+  co_return std::string(reply.begin(), reply.end());
+}
+
+Task<> DbReplicaCluster::Shutdown() {
+  for (auto& s : shards_) {
+    urpc::Message poison;
+    poison.tag = kShutdownTag;
+    co_await s->queries.Send(poison);
+  }
+}
+
+}  // namespace mk::apps

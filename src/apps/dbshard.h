@@ -1,0 +1,90 @@
+// Sharded read-only database serving for the §5.4 scale-out workload.
+//
+// sec54_webserver shows that the web+SQL configuration bottlenecks at the
+// single database core; scaling the serving stack past a couple of cores
+// therefore needs the data tier scaled too. For a read-only browsing mix
+// (TPC-W item detail SELECTs) the multikernel answer is replication, the same
+// move the paper applies to OS state (§4.4: "replication is the default"):
+// each serving shard gets a full replica of the database on a core of its own
+// package, queried over the shard's private URPC channel — no shared state,
+// no cross-shard coordination, reads scale with shards.
+#ifndef MK_APPS_DBSHARD_H_
+#define MK_APPS_DBSHARD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/db.h"
+#include "hw/machine.h"
+#include "net/packet_channel.h"
+#include "sim/event.h"
+#include "sim/task.h"
+#include "urpc/channel.h"
+
+namespace mk::apps {
+
+using sim::Cycles;
+using sim::Task;
+
+// One shard's core pair: the web/serving core and the core its DB replica
+// runs on (placed in the same package so the URPC hop stays intra-package).
+struct ShardPlacement {
+  int web_core = 0;
+  int db_core = 0;
+};
+
+// A set of identical read-only Database replicas, one per shard, each served
+// by its own core over a private URPC request channel + PacketChannel reply
+// channel (the same transport pair sec54_webserver's single DbService uses).
+class DbReplicaCluster {
+ public:
+  // Copies `source` once per shard; populate it before constructing.
+  DbReplicaCluster(hw::Machine& machine, const Database& source,
+                   std::vector<ShardPlacement> placements);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardPlacement& placement(int shard) const {
+    return shards_[static_cast<std::size_t>(shard)]->placement;
+  }
+
+  // The replica server process for one shard: receives SQL over URPC,
+  // executes it against the local replica, charges the parse + per-row scan
+  // cost on the shard's DB core, replies with rendered rows. Spawn one per
+  // shard; returns after Shutdown().
+  Task<> Serve(int shard);
+
+  // Web-side query: runs `sql` on the shard's replica, returns rendered
+  // rows. One outstanding RPC per shard (the reply channel carries no
+  // request ids), exactly like the single-DB bench.
+  Task<std::string> Query(int shard, std::string sql);
+
+  // Poisons every shard's request channel; their Serve() loops drain and
+  // return.
+  Task<> Shutdown();
+
+  std::uint64_t queries_served(int shard) const {
+    return shards_[static_cast<std::size_t>(shard)]->served;
+  }
+
+ private:
+  struct Shard {
+    Shard(hw::Machine& m, ShardPlacement p, const Database& source)
+        : placement(p), db(source), queries(m, p.web_core, p.db_core),
+          replies(m, p.db_core, p.web_core, net::PacketChannel::Options{}),
+          rpc_slot(m.exec(), 1) {}
+    ShardPlacement placement;
+    Database db;  // full read-only replica
+    urpc::Channel queries;
+    net::PacketChannel replies;
+    sim::Semaphore rpc_slot;
+    std::uint64_t served = 0;
+  };
+
+  hw::Machine& machine_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mk::apps
+
+#endif  // MK_APPS_DBSHARD_H_

@@ -11,6 +11,9 @@ bool ParseHttpRequest(const std::string& text, HttpRequest* out) {
     line_end = text.find('\n');
   }
   std::string line = text.substr(0, line_end);
+  if (line.size() > kMaxRequestBytes) {
+    return false;  // request line alone exceeds the buffer cap
+  }
   std::istringstream iss(line);
   std::string target;
   std::string version;
@@ -95,13 +98,15 @@ Task<> HttpServer::ServeConnection(net::NetStack::TcpConn* conn) {
     }
     request_text.append(chunk.begin(), chunk.end());
     if (request_text.find("\r\n\r\n") != std::string::npos ||
-        request_text.find('\n') != std::string::npos) {
+        request_text.find('\n') != std::string::npos ||
+        request_text.size() > kMaxRequestBytes) {
       break;
     }
   }
   HttpRequest req;
   HttpResponse resp;
-  if (!ParseHttpRequest(request_text, &req)) {
+  if (request_text.size() > kMaxRequestBytes ||
+      !ParseHttpRequest(request_text, &req)) {
     resp.status = 400;
     resp.body = "bad request";
   } else {

@@ -23,6 +23,11 @@ struct HttpRequest {
   std::string query;  // after '?'
 };
 
+// Cap on buffered request bytes before the server gives up on finding a
+// request terminator and answers 400: an attacker (or a corrupted length
+// field) must not be able to grow a connection's buffer without bound.
+inline constexpr std::size_t kMaxRequestBytes = 8192;
+
 struct HttpResponse {
   int status = 200;
   std::string body;

@@ -65,6 +65,15 @@ FaultPlan& FaultPlan::DropRxFrames(sim::Cycles at, int count) {
   return Add(s);
 }
 
+FaultPlan& FaultPlan::DropRxFramesOnQueue(int queue, sim::Cycles at, int count) {
+  FaultSpec s;
+  s.kind = FaultKind::kNicRxDrop;
+  s.at = at;
+  s.a = queue;
+  s.count = count;
+  return Add(s);
+}
+
 FaultPlan& FaultPlan::RandomRxLoss(double rate, std::uint64_t seed, sim::Cycles at,
                                    sim::Cycles until) {
   FaultSpec s;
@@ -89,6 +98,17 @@ FaultPlan& FaultPlan::DropTxFrames(sim::Cycles at, int count) {
   s.kind = FaultKind::kNicTxDrop;
   s.at = at;
   s.count = count;
+  return Add(s);
+}
+
+FaultPlan& FaultPlan::RandomTxLoss(double rate, std::uint64_t seed, sim::Cycles at,
+                                   sim::Cycles until) {
+  FaultSpec s;
+  s.kind = FaultKind::kNicTxDrop;
+  s.at = at;
+  s.until = until;
+  s.probability = rate;
+  s.seed = seed;
   return Add(s);
 }
 
@@ -187,16 +207,16 @@ sim::Cycles Injector::IpiExtraDelay(sim::Cycles now, int from, int to) {
   return st != nullptr ? st->spec.extra : 0;
 }
 
-bool Injector::ShouldDropRxFrame(sim::Cycles now) {
-  return Consume(FaultKind::kNicRxDrop, now, -1, -1) != nullptr;
+bool Injector::ShouldDropRxFrame(sim::Cycles now, int queue) {
+  return Consume(FaultKind::kNicRxDrop, now, queue, -1) != nullptr;
 }
 
-bool Injector::ShouldCorruptRxFrame(sim::Cycles now) {
-  return Consume(FaultKind::kNicRxCorrupt, now, -1, -1) != nullptr;
+bool Injector::ShouldCorruptRxFrame(sim::Cycles now, int queue) {
+  return Consume(FaultKind::kNicRxCorrupt, now, queue, -1) != nullptr;
 }
 
-bool Injector::ShouldDropTxFrame(sim::Cycles now) {
-  return Consume(FaultKind::kNicTxDrop, now, -1, -1) != nullptr;
+bool Injector::ShouldDropTxFrame(sim::Cycles now, int queue) {
+  return Consume(FaultKind::kNicTxDrop, now, queue, -1) != nullptr;
 }
 
 sim::Cycles Injector::LinkExtra(sim::Cycles now) const {

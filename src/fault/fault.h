@@ -86,6 +86,9 @@ class FaultPlan {
                       sim::Cycles until = kForever);
   // Drop the next `count` RX frames arriving at/after `at`.
   FaultPlan& DropRxFrames(sim::Cycles at, int count = 1);
+  // Drop the next `count` RX frames steered to a specific NIC queue (`a` is
+  // the queue index for NIC kinds; multi-queue devices pass it at the site).
+  FaultPlan& DropRxFramesOnQueue(int queue, sim::Cycles at, int count = 1);
   // Drop each RX frame with probability `rate` while armed (seeded stream).
   FaultPlan& RandomRxLoss(double rate, std::uint64_t seed, sim::Cycles at = 0,
                           sim::Cycles until = kForever);
@@ -93,6 +96,9 @@ class FaultPlan {
   FaultPlan& CorruptRxFrames(sim::Cycles at, int count = 1);
   // Drop the next `count` TX frames after DMA-out.
   FaultPlan& DropTxFrames(sim::Cycles at, int count = 1);
+  // Drop each TX frame with probability `rate` while armed (seeded stream).
+  FaultPlan& RandomTxLoss(double rate, std::uint64_t seed, sim::Cycles at = 0,
+                          sim::Cycles until = kForever);
   // Inflate cross-package interconnect transfers by `extra` while armed.
   FaultPlan& LinkSpike(sim::Cycles extra, sim::Cycles at, sim::Cycles until);
 
@@ -130,9 +136,12 @@ class Injector {
   // per-spec counters/streams and record stats.
   bool ShouldDropIpi(sim::Cycles now, int from, int to);
   sim::Cycles IpiExtraDelay(sim::Cycles now, int from, int to);
-  bool ShouldDropRxFrame(sim::Cycles now);
-  bool ShouldCorruptRxFrame(sim::Cycles now);
-  bool ShouldDropTxFrame(sim::Cycles now);
+  // NIC queries take the RX/TX queue the frame was steered to (matched
+  // against spec `a`; the default -1 site only matches wildcard specs, so
+  // stacks wired back-to-back without a SimNic keep their old behaviour).
+  bool ShouldDropRxFrame(sim::Cycles now, int queue = -1);
+  bool ShouldCorruptRxFrame(sim::Cycles now, int queue = -1);
+  bool ShouldDropTxFrame(sim::Cycles now, int queue = -1);
   // Non-consuming (interval-armed, unlimited): extra cross-package latency.
   sim::Cycles LinkExtra(sim::Cycles now) const;
 

@@ -7,27 +7,44 @@ namespace {
 
 constexpr std::uint64_t kBufBytes = 2048;  // one buffer per descriptor
 
-// Trace flow ids: RX frames pair InjectFromWire with DriverRxPop (both rings
-// are FIFOs, so matching enqueue/dequeue serials identify one frame); TX
-// frames pair DriverTxPush with the DMA completion.
+// Trace flow ids: RX frames pair InjectFromWire with DriverRxPop (each ring
+// is a FIFO, so matching enqueue/dequeue serials within a queue identify one
+// frame); TX frames pair DriverTxPush with the DMA completion. The queue
+// index lives in bits 32..39 so queue 0's ids are exactly the single-ring
+// ids; kTxFlowBit (bit 40) stays clear of it.
 constexpr std::uint64_t kTxFlowBit = std::uint64_t{1} << 40;
 
-std::uint64_t RxFlow(std::uint64_t seq) { return trace::kFlowNet | seq; }
-std::uint64_t TxFlow(std::uint64_t seq) { return trace::kFlowNet | kTxFlowBit | seq; }
+std::uint64_t RxFlow(int queue, std::uint64_t seq) {
+  return trace::kFlowNet | (static_cast<std::uint64_t>(queue) << 32) |
+         (seq & 0xffffffff);
+}
+std::uint64_t TxFlow(int queue, std::uint64_t seq) {
+  return trace::kFlowNet | kTxFlowBit | (static_cast<std::uint64_t>(queue) << 32) |
+         (seq & 0xffffffff);
+}
 
 }  // namespace
 
 SimNic::SimNic(hw::Machine& machine, Config config)
-    : machine_(machine), config_(config), rx_irq_(machine.exec()),
-      wire_out_ready_(machine.exec()) {
+    : machine_(machine), config_(config), wire_out_ready_(machine.exec()) {
   auto descs = static_cast<std::uint64_t>(config_.rx_descs);
-  // 16-byte descriptors: 4 per cache line.
-  rx_desc_region_ = machine_.mem().AllocLines(config_.node, descs / 4 + 1);
-  tx_desc_region_ = machine_.mem().AllocLines(config_.node, descs / 4 + 1);
-  rx_buf_region_ =
-      machine_.mem().AllocLines(config_.node, descs * kBufBytes / sim::kCacheLineBytes);
-  tx_buf_region_ =
-      machine_.mem().AllocLines(config_.node, descs * kBufBytes / sim::kCacheLineBytes);
+  queues_.reserve(static_cast<std::size_t>(config_.queues));
+  for (int q = 0; q < config_.queues; ++q) {
+    auto queue = std::make_unique<Queue>(machine_.exec());
+    // 16-byte descriptors: 4 per cache line. Per-queue regions are allocated
+    // in the same order the single-ring device allocated its four regions, so
+    // a one-queue NIC lands on the very same simulated addresses.
+    queue->rx_desc_region = machine_.mem().AllocLines(config_.node, descs / 4 + 1);
+    queue->tx_desc_region = machine_.mem().AllocLines(config_.node, descs / 4 + 1);
+    queue->rx_buf_region =
+        machine_.mem().AllocLines(config_.node, descs * kBufBytes / sim::kCacheLineBytes);
+    queue->tx_buf_region =
+        machine_.mem().AllocLines(config_.node, descs * kBufBytes / sim::kCacheLineBytes);
+    queue->irq_core = q < static_cast<int>(config_.irq_cores.size())
+                          ? config_.irq_cores[static_cast<std::size_t>(q)]
+                          : config_.irq_core;
+    queues_.push_back(std::move(queue));
+  }
 }
 
 Cycles SimNic::CyclesPerByte() const {
@@ -35,104 +52,153 @@ Cycles SimNic::CyclesPerByte() const {
   return static_cast<Cycles>(8.0 * machine_.spec().clock_ghz / config_.gbps);
 }
 
+int SimNic::RssQueueFor(const Packet& frame) const {
+  if (config_.queues <= 1) {
+    return 0;  // no hash drawn: single-queue steering is branch-free
+  }
+  std::optional<FlowTuple> tuple = ExtractFlowTuple(frame);
+  if (!tuple.has_value()) {
+    return 0;  // non-IP / runt frames go to the default queue, like real RSS
+  }
+  return static_cast<int>(RssHash(config_.rss_seed, *tuple) %
+                          static_cast<std::uint32_t>(config_.queues));
+}
+
+void SimNic::RaiseRxIrq(int queue) {
+  Queue& q = *queues_[static_cast<std::size_t>(queue)];
+  if (config_.irq_latency == 0) {
+    // Legacy model: the interrupt is visible the instant DMA completes.
+    trace::Emit<trace::Category::kNet>(trace::EventId::kNetIrq, machine_.exec().now(),
+                                       q.irq_core, static_cast<std::uint64_t>(queue));
+    q.rx_irq.Signal();
+    return;
+  }
+  // MSI-style: the write crosses the fabric; once sent it is delivered even
+  // if the driver masks the queue meanwhile (the poll loop absorbs spurious
+  // wakeups, exactly as a real masked-then-cleared e1000 interrupt would).
+  machine_.exec().CallAt(machine_.exec().now() + config_.irq_latency,
+                         [this, queue] {
+                           Queue& dq = *queues_[static_cast<std::size_t>(queue)];
+                           trace::Emit<trace::Category::kNet>(
+                               trace::EventId::kNetIrq, machine_.exec().now(),
+                               dq.irq_core, static_cast<std::uint64_t>(queue));
+                           dq.rx_irq.Signal();
+                         });
+}
+
 Task<> SimNic::InjectFromWire(Packet frame) {
-  // The wire delivers back-to-back frames at line rate.
+  // The wire delivers back-to-back frames at line rate (all queues share it).
   Cycles service = static_cast<Cycles>(frame.size() + 24) * CyclesPerByte();  // +preamble/IFG
   Cycles done = wire_in_.ReserveAt(machine_.exec().now(), service);
   co_await machine_.exec().Delay(done - machine_.exec().now());
+  // RSS steering happens in hardware, before any integrity check: even a
+  // frame corrupted on the wire lands on its flow's queue, so the drop is
+  // attributed to the shard that owns the flow.
+  int queue = RssQueueFor(frame);
+  Queue& q = *queues_[static_cast<std::size_t>(queue)];
   // Fault injection happens after the wire pacing (the bits still occupied
   // the link) but before the frame reaches the RX ring: a dropped frame never
   // existed as far as the driver is concerned; a corrupted one is delivered
   // and must be caught by the stack's checksums.
   if (fault::Injector* inj = fault::Injector::active()) {
-    if (inj->ShouldDropRxFrame(machine_.exec().now())) {
+    if (inj->ShouldDropRxFrame(machine_.exec().now(), queue)) {
       trace::Emit<trace::Category::kFault>(trace::EventId::kFaultFrameDrop,
-                                           machine_.exec().now(), config_.irq_core,
+                                           machine_.exec().now(), q.irq_core,
                                            frame.size(), 0);
       ++frames_dropped_;
+      ++q.stats.rx_fault_drops;
       co_return;
     }
-    if (inj->ShouldCorruptRxFrame(machine_.exec().now()) && !frame.empty()) {
+    if (inj->ShouldCorruptRxFrame(machine_.exec().now(), queue) && !frame.empty()) {
       trace::Emit<trace::Category::kFault>(trace::EventId::kFaultFrameCorrupt,
-                                           machine_.exec().now(), config_.irq_core,
+                                           machine_.exec().now(), q.irq_core,
                                            frame.size());
       frame.back() ^= 0xff;  // payload bit flip: survives to the L4 checksum
     }
   }
-  if (rx_ring_.size() >= static_cast<std::size_t>(config_.rx_descs)) {
+  if (q.rx_ring.size() >= static_cast<std::size_t>(config_.rx_descs)) {
     ++frames_dropped_;
+    ++q.stats.rx_overflow_drops;
     co_return;
   }
   // DMA into the buffer + descriptor write-back (the NIC owns these stores;
   // they invalidate the driver's cached copies, which is charged when the
   // driver reads them in DriverRxPop).
-  std::uint64_t seq = rx_slot_++;
+  std::uint64_t seq = q.rx_slot++;
   trace::Emit<trace::Category::kNet>(trace::EventId::kNetRxWire, machine_.exec().now(),
-                                     config_.irq_core, frame.size(), 0, RxFlow(seq),
-                                     trace::Phase::kFlowOut);
-  rx_ring_.push_back(std::move(frame));
-  if (irq_enabled_) {
-    trace::Emit<trace::Category::kNet>(trace::EventId::kNetIrq, machine_.exec().now(),
-                                       config_.irq_core);
-    rx_irq_.Signal();
+                                     q.irq_core, frame.size(),
+                                     static_cast<std::uint64_t>(queue),
+                                     RxFlow(queue, seq), trace::Phase::kFlowOut);
+  q.rx_ring.push_back(std::move(frame));
+  ++q.stats.rx_frames;
+  if (q.irq_enabled) {
+    RaiseRxIrq(queue);
   }
 }
 
-Task<std::optional<Packet>> SimNic::DriverRxPop(int core) {
-  if (rx_ring_.empty()) {
+Task<std::optional<Packet>> SimNic::DriverRxPop(int core, int queue) {
+  Queue& q = *queues_[static_cast<std::size_t>(queue)];
+  if (q.rx_ring.empty()) {
     co_return std::nullopt;
   }
   const Cycles start = machine_.exec().now();
-  Packet frame = std::move(rx_ring_.front());
-  rx_ring_.pop_front();
-  std::uint64_t seq = rx_pop_slot_++;
+  Packet frame = std::move(q.rx_ring.front());
+  q.rx_ring.pop_front();
+  std::uint64_t seq = q.rx_pop_slot++;
   std::uint64_t slot = seq % static_cast<std::uint64_t>(config_.rx_descs);
   // Descriptor read (the NIC's write-back invalidated it) + payload read.
-  co_await machine_.mem().Read(core, rx_desc_region_ + (slot / 4) * sim::kCacheLineBytes);
-  co_await machine_.mem().Read(core, rx_buf_region_ + slot * kBufBytes, frame.size());
+  co_await machine_.mem().Read(core, q.rx_desc_region + (slot / 4) * sim::kCacheLineBytes);
+  co_await machine_.mem().Read(core, q.rx_buf_region + slot * kBufBytes, frame.size());
   // Descriptor recycle: hand the buffer back to the NIC.
   co_await machine_.mem().WritePosted(core,
-                                      rx_desc_region_ + (slot / 4) * sim::kCacheLineBytes);
+                                      q.rx_desc_region + (slot / 4) * sim::kCacheLineBytes);
   trace::EmitSpan<trace::Category::kNet>(trace::EventId::kNetRxPop, start,
                                          machine_.exec().now(), core, frame.size(),
-                                         RxFlow(seq), trace::Phase::kSpanFlowIn);
+                                         RxFlow(queue, seq), trace::Phase::kSpanFlowIn);
   co_return frame;
 }
 
-Task<bool> SimNic::DriverTxPush(int core, Packet frame) {
-  if (tx_wire_.size() >= static_cast<std::size_t>(config_.tx_descs)) {
+Task<bool> SimNic::DriverTxPush(int core, Packet frame, int queue) {
+  Queue& q = *queues_[static_cast<std::size_t>(queue)];
+  if (q.tx_on_wire >= static_cast<std::uint64_t>(config_.tx_descs)) {
+    ++q.stats.tx_ring_full;
     co_return false;
   }
   const Cycles start = machine_.exec().now();
-  std::uint64_t seq = tx_slot_++;
+  std::uint64_t seq = q.tx_slot++;
   std::uint64_t slot = seq % static_cast<std::uint64_t>(config_.tx_descs);
   // Payload copy into the DMA buffer + descriptor write + doorbell.
-  co_await machine_.mem().WritePosted(core, tx_buf_region_ + slot * kBufBytes, frame.size());
-  co_await machine_.mem().Write(core, tx_desc_region_ + (slot / 4) * sim::kCacheLineBytes);
+  co_await machine_.mem().WritePosted(core, q.tx_buf_region + slot * kBufBytes, frame.size());
+  co_await machine_.mem().Write(core, q.tx_desc_region + (slot / 4) * sim::kCacheLineBytes);
   trace::EmitSpan<trace::Category::kNet>(trace::EventId::kNetTxPush, start,
                                          machine_.exec().now(), core, frame.size(),
-                                         TxFlow(seq), trace::Phase::kSpanFlowOut);
-  machine_.exec().Spawn(DmaOut(std::move(frame), TxFlow(seq)));
+                                         TxFlow(queue, seq), trace::Phase::kSpanFlowOut);
+  machine_.exec().Spawn(DmaOut(std::move(frame), TxFlow(queue, seq), queue));
   co_return true;
 }
 
-Task<> SimNic::DmaOut(Packet frame, std::uint64_t flow) {
+Task<> SimNic::DmaOut(Packet frame, std::uint64_t flow, int queue) {
+  Queue& q = *queues_[static_cast<std::size_t>(queue)];
   Cycles service = static_cast<Cycles>(frame.size() + 24) * CyclesPerByte();
   Cycles done = wire_out_.ReserveAt(machine_.exec().now(), service);
   co_await machine_.exec().Delay(done - machine_.exec().now());
   if (fault::Injector* inj = fault::Injector::active();
-      inj != nullptr && inj->ShouldDropTxFrame(machine_.exec().now())) {
+      inj != nullptr && inj->ShouldDropTxFrame(machine_.exec().now(), queue)) {
     // The DMA engine serialized the frame, but the wire ate it.
     trace::Emit<trace::Category::kFault>(trace::EventId::kFaultFrameDrop,
-                                         machine_.exec().now(), config_.irq_core,
+                                         machine_.exec().now(), q.irq_core,
                                          frame.size(), 1);
     ++frames_dropped_;
+    ++q.stats.tx_fault_drops;
     co_return;
   }
   trace::Emit<trace::Category::kNet>(trace::EventId::kNetTxWire, machine_.exec().now(),
-                                     config_.irq_core, frame.size(), 0, flow,
+                                     q.irq_core, frame.size(),
+                                     static_cast<std::uint64_t>(queue), flow,
                                      trace::Phase::kFlowIn);
-  tx_wire_.push_back(std::move(frame));
+  tx_wire_.emplace_back(queue, std::move(frame));
+  ++q.tx_on_wire;
+  ++q.stats.tx_frames;
   ++frames_sent_;
   wire_out_ready_.Signal();
 }
@@ -141,7 +207,9 @@ bool SimNic::WirePop(Packet* out) {
   if (tx_wire_.empty()) {
     return false;
   }
-  *out = std::move(tx_wire_.front());
+  auto& [queue, frame] = tx_wire_.front();
+  --queues_[static_cast<std::size_t>(queue)]->tx_on_wire;
+  *out = std::move(frame);
   tx_wire_.pop_front();
   return true;
 }

@@ -1,21 +1,27 @@
-// Simulated e1000-class gigabit NIC: descriptor rings in (simulated) shared
-// memory, DMA paced at line rate, interrupts routed to the driver's core
-// (section 4.2: "device interrupts are routed in hardware to the appropriate
-// core, demultiplexed by that core's CPU driver, and delivered to the driver
-// process as a message").
+// Simulated e1000e/82576-class gigabit NIC: N RX/TX queue pairs with
+// descriptor rings in (simulated) shared memory, DMA paced at line rate on a
+// single shared wire, a seeded RSS hash steering inbound flows to queues, and
+// per-queue interrupts routed to each queue's configured core (section 4.2:
+// "device interrupts are routed in hardware to the appropriate core,
+// demultiplexed by that core's CPU driver, and delivered to the driver
+// process as a message"). The single-queue configuration (the default) is
+// bit-identical to the original single-ring device.
 #ifndef MK_NET_NIC_H_
 #define MK_NET_NIC_H_
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "hw/machine.h"
 #include "net/wire.h"
 #include "sim/event.h"
 #include "sim/task.h"
 #include "sim/types.h"
+#include "trace/trace.h"
 
 namespace mk::net {
 
@@ -25,66 +31,120 @@ using sim::Task;
 class SimNic {
  public:
   struct Config {
-    int rx_descs = 256;
-    int tx_descs = 256;
-    double gbps = 1.0;   // line rate
+    int rx_descs = 256;  // per RX queue
+    int tx_descs = 256;  // per TX queue
+    double gbps = 1.0;   // line rate (shared by all queues: one wire)
     int node = 0;        // NUMA node of rings and buffers
-    int irq_core = 0;    // where interrupts are delivered
+    int irq_core = 0;    // where queue 0's interrupts go (single-queue compat)
+
+    // --- Multi-queue (82576-class) ---
+    int queues = 1;  // RX/TX queue pairs; flows steered by RSS over 4-tuples
+    std::uint64_t rss_seed = 0x52535348;  // 'RSSH': keyed flow->queue hash
+    // Per-queue interrupt routing; empty means every queue -> irq_core,
+    // shorter than `queues` falls back to irq_core for the tail.
+    std::vector<int> irq_cores;
+    // MSI-style delivery delay between the frame landing in the ring and the
+    // IRQ reaching its core (the same fabric hop an IPI pays). 0 = the IRQ is
+    // visible the instant DMA completes (the original single-ring model).
+    Cycles irq_latency = 0;
+  };
+
+  // Per-queue counters; drops are attributed to the queue RSS steered the
+  // frame to, so a hot shard's losses are visible in isolation.
+  struct QueueStats {
+    std::uint64_t rx_frames = 0;          // frames DMA'd into the RX ring
+    std::uint64_t rx_overflow_drops = 0;  // RX ring full
+    std::uint64_t rx_fault_drops = 0;     // injected wire loss (mk::fault)
+    std::uint64_t tx_frames = 0;          // frames serialized onto the wire
+    std::uint64_t tx_fault_drops = 0;     // injected loss after TX DMA
+    std::uint64_t tx_ring_full = 0;       // DriverTxPush refused
+    std::uint64_t rx_drops() const { return rx_overflow_drops + rx_fault_drops; }
   };
 
   SimNic(hw::Machine& machine, Config config);
 
   // --- Wire side (load generators / link peer) ---
 
-  // A frame arriving from the wire: paced at line rate, DMA'd into the RX
-  // ring (dropped if full), IRQ raised if the driver enabled interrupts.
+  // A frame arriving from the wire: paced at line rate, steered to an RX
+  // queue by the RSS hash, DMA'd into that queue's ring (dropped if full),
+  // IRQ raised to the queue's core if the queue's interrupts are enabled.
   Task<> InjectFromWire(Packet frame);
 
-  // Frames the NIC has transmitted onto the wire.
+  // Frames the NIC has transmitted onto the wire (all TX queues merge here).
   bool WirePop(Packet* out);
   sim::Event& wire_out_ready() { return wire_out_ready_; }
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
 
-  // --- Driver side ---
+  int num_queues() const { return config_.queues; }
+  int irq_core(int queue = 0) const { return queues_[static_cast<std::size_t>(queue)]->irq_core; }
+  const QueueStats& queue_stats(int queue) const {
+    return queues_[static_cast<std::size_t>(queue)]->stats;
+  }
+  // The steering decision for a frame (pure, host-side): which RX queue the
+  // RSS hash assigns it to. Exposed so tests and load generators can predict
+  // placement.
+  int RssQueueFor(const Packet& frame) const;
 
-  // Pops the next received frame: charges the descriptor and payload-buffer
-  // reads on `core`. Returns nullopt if the ring is empty.
-  Task<std::optional<Packet>> DriverRxPop(int core);
-  bool RxReady() const { return !rx_ring_.empty(); }
+  // --- Driver side (per queue; the defaults keep single-queue callers) ---
 
-  // Queues a frame for transmission: charges descriptor + payload writes,
-  // then the DMA engine serializes it onto the wire at line rate.
-  // Returns false if the TX ring is full.
-  Task<bool> DriverTxPush(int core, Packet frame);
+  // Pops the next received frame from `queue`: charges the descriptor and
+  // payload-buffer reads on `core`. Returns nullopt if the ring is empty.
+  Task<std::optional<Packet>> DriverRxPop(int core, int queue = 0);
+  bool RxReady(int queue = 0) const {
+    return !queues_[static_cast<std::size_t>(queue)]->rx_ring.empty();
+  }
+
+  // Queues a frame for transmission on `queue`: charges descriptor + payload
+  // writes, then the DMA engine serializes it onto the shared wire at line
+  // rate. Returns false if the TX ring is full.
+  Task<bool> DriverTxPush(int core, Packet frame, int queue = 0);
 
   // Interrupts: delivered only when enabled (drivers disable them while
-  // polling, as e1000 drivers do). The handler runs at IRQ delivery; the
-  // driver charges its own trap cost when it wakes.
-  void SetInterruptsEnabled(bool enabled) { irq_enabled_ = enabled; }
-  sim::Event& rx_irq() { return rx_irq_; }
+  // polling, as e1000 drivers do). Masking is per queue; the handler runs at
+  // IRQ delivery and the driver charges its own trap cost when it wakes.
+  void SetInterruptsEnabled(bool enabled) {
+    for (auto& q : queues_) {
+      q->irq_enabled = enabled;
+    }
+  }
+  void SetInterruptsEnabled(int queue, bool enabled) {
+    queues_[static_cast<std::size_t>(queue)]->irq_enabled = enabled;
+  }
+  sim::Event& rx_irq(int queue = 0) {
+    return queues_[static_cast<std::size_t>(queue)]->rx_irq;
+  }
 
   Cycles CyclesPerByte() const;
 
  private:
-  Task<> DmaOut(Packet frame, std::uint64_t flow);
+  struct Queue {
+    explicit Queue(sim::Executor& exec) : rx_irq(exec) {}
+    sim::Addr rx_desc_region = 0;
+    sim::Addr tx_desc_region = 0;
+    sim::Addr rx_buf_region = 0;
+    sim::Addr tx_buf_region = 0;
+    std::deque<Packet> rx_ring;
+    std::uint64_t rx_slot = 0;
+    std::uint64_t rx_pop_slot = 0;
+    std::uint64_t tx_slot = 0;
+    std::uint64_t tx_on_wire = 0;  // this queue's frames sitting in tx_wire_
+    sim::Event rx_irq;
+    bool irq_enabled = true;
+    int irq_core = 0;
+    QueueStats stats;
+  };
+
+  Task<> DmaOut(Packet frame, std::uint64_t flow, int queue);
+  void RaiseRxIrq(int queue);
 
   hw::Machine& machine_;
   Config config_;
-  sim::Addr rx_desc_region_;
-  sim::Addr tx_desc_region_;
-  sim::Addr rx_buf_region_;
-  sim::Addr tx_buf_region_;
-  std::deque<Packet> rx_ring_;
-  std::deque<Packet> tx_wire_;
-  std::uint64_t rx_slot_ = 0;
-  std::uint64_t rx_pop_slot_ = 0;
-  std::uint64_t tx_slot_ = 0;
-  sim::FifoResource wire_in_;   // inbound line-rate pacing
-  sim::FifoResource wire_out_;  // outbound line-rate pacing
-  sim::Event rx_irq_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::deque<std::pair<int, Packet>> tx_wire_;  // (source queue, frame)
+  sim::FifoResource wire_in_;   // inbound line-rate pacing (one wire)
+  sim::FifoResource wire_out_;  // outbound line-rate pacing (one wire)
   sim::Event wire_out_ready_;
-  bool irq_enabled_ = true;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;
 };

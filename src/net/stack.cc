@@ -247,7 +247,8 @@ NetStack::Listener& NetStack::TcpListen(std::uint16_t port) {
   return *it->second;
 }
 
-Task<NetStack::TcpConn*> NetStack::TcpConnect(Ipv4Addr dst_ip, std::uint16_t dst_port) {
+Task<NetStack::TcpConn*> NetStack::TcpConnect(Ipv4Addr dst_ip, std::uint16_t dst_port,
+                                              Cycles timeout) {
   auto conn = std::make_unique<TcpConn>(machine_.exec());
   TcpConn* c = conn.get();
   c->remote_ip = dst_ip;
@@ -256,9 +257,21 @@ Task<NetStack::TcpConn*> NetStack::TcpConnect(Ipv4Addr dst_ip, std::uint16_t dst
   c->snd_nxt = 1000;  // deterministic ISN
   c->snd_una = 1000;
   conns_[{dst_ip, dst_port, c->local_port}] = std::move(conn);
+  const Cycles deadline = machine_.exec().now() + timeout;
   co_await SendTcpSegment(*c, TcpFlags{.syn = true}, nullptr, 0);
   while (!c->established) {
-    co_await c->readable.Wait();
+    if (timeout == 0) {
+      co_await c->readable.Wait();
+      continue;
+    }
+    Cycles now = machine_.exec().now();
+    if (now >= deadline ||
+        !co_await c->readable.WaitTimeout(deadline - now)) {
+      if (!c->established) {  // SYN-ACK may have raced the timer
+        conns_.erase({dst_ip, dst_port, c->local_port});
+        co_return nullptr;
+      }
+    }
   }
   co_return c;
 }

@@ -126,7 +126,13 @@ class NetStack {
     Task<TcpConn*> Accept();
   };
   Listener& TcpListen(std::uint16_t port);
-  Task<TcpConn*> TcpConnect(Ipv4Addr dst_ip, std::uint16_t dst_port);
+  // Connects and waits for the handshake. With `timeout` > 0 the wait is
+  // bounded and nullptr is returned (and the half-open connection torn down)
+  // if the SYN-ACK does not arrive in time — open-loop load generators need
+  // this so a shed SYN cannot wedge a client forever. 0 = wait indefinitely
+  // (the original behaviour; schedules no timer events).
+  Task<TcpConn*> TcpConnect(Ipv4Addr dst_ip, std::uint16_t dst_port,
+                            Cycles timeout = 0);
   Task<> TcpSend(TcpConn& conn, const std::uint8_t* data, std::size_t len);
   Task<> TcpSend(TcpConn& conn, const std::string& data);
   Task<> TcpClose(TcpConn& conn);

@@ -226,4 +226,44 @@ std::optional<ParsedFrame> ParseFrame(const Packet& frame, ParseInfo* info) {
   return fail(ParseError::kUnknownProto);
 }
 
+std::optional<FlowTuple> ExtractFlowTuple(const Packet& frame) {
+  if (frame.size() < kEthHeaderBytes + kIpHeaderBytes) {
+    return std::nullopt;
+  }
+  const std::uint8_t* d = frame.data();
+  if (Get16(d + 12) != kEtherTypeIpv4) {
+    return std::nullopt;
+  }
+  const std::uint8_t* ip = d + kEthHeaderBytes;
+  if ((ip[0] >> 4) != 4 || (ip[0] & 0x0f) != 5) {
+    return std::nullopt;
+  }
+  FlowTuple t;
+  t.proto = ip[9];
+  t.src_ip = Get32(ip + 12);
+  t.dst_ip = Get32(ip + 16);
+  // Ports only if the first 4 bytes of an UDP/TCP header are present; the
+  // L3-only tuple still steers consistently otherwise.
+  if ((t.proto == kIpProtoUdp || t.proto == kIpProtoTcp) &&
+      frame.size() >= kEthHeaderBytes + kIpHeaderBytes + 4) {
+    const std::uint8_t* l4 = ip + kIpHeaderBytes;
+    t.src_port = Get16(l4);
+    t.dst_port = Get16(l4 + 2);
+  }
+  return t;
+}
+
+std::uint32_t RssHash(std::uint64_t seed, const FlowTuple& t) {
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t x = mix(seed ^ 0x9e3779b97f4a7c15ULL);
+  x = mix(x ^ ((static_cast<std::uint64_t>(t.src_ip) << 32) | t.dst_ip));
+  x = mix(x ^ ((static_cast<std::uint64_t>(t.src_port) << 32) |
+               (static_cast<std::uint64_t>(t.dst_port) << 16) | t.proto));
+  return static_cast<std::uint32_t>(x >> 32);
+}
+
 }  // namespace mk::net

@@ -120,6 +120,31 @@ struct ParseInfo {
 
 std::optional<ParsedFrame> ParseFrame(const Packet& frame, ParseInfo* info = nullptr);
 
+// --- RSS flow identification (multi-queue NIC steering) ---
+
+// The 4-tuple (plus IP protocol) receive-side scaling hashes to pick an RX
+// queue. Extracted without checksum validation: hardware steers frames before
+// any software integrity check runs, so a frame whose payload was corrupted
+// on the wire still lands on the queue its flow owns (and is then rejected by
+// that queue's stack, keeping drop attribution per shard).
+struct FlowTuple {
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  std::uint16_t src_port = 0;  // 0 when the L4 header is absent/short
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+};
+
+// Best-effort, bounds-checked header peek for steering. nullopt for frames
+// too short to carry an IPv4 header or with a foreign ethertype; such frames
+// are steered to queue 0, like a real NIC's "no RSS match" default queue.
+std::optional<FlowTuple> ExtractFlowTuple(const Packet& frame);
+
+// Seeded hash over the flow tuple — a keyed SplitMix64 mix standing in for
+// the 82576's Toeplitz hash. Same seed and tuple give the same value in every
+// run, on every platform; changing the seed permutes flow->queue placement.
+std::uint32_t RssHash(std::uint64_t seed, const FlowTuple& t);
+
 }  // namespace mk::net
 
 #endif  // MK_NET_WIRE_H_

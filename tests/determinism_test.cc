@@ -19,6 +19,7 @@
 #include "hw/platform.h"
 #include "kernel/cpu_driver.h"
 #include "monitor/monitor.h"
+#include "net/nic.h"
 #include "net/stack.h"
 #include "net/wire.h"
 #include "sim/executor.h"
@@ -265,6 +266,162 @@ TEST(Determinism, NicLossFaultPlanReplaysBitIdentically) {
   EXPECT_EQ(a.bytes_received, 6000u);
   EXPECT_GT(a.frames_lost, 0u);
   EXPECT_GT(a.retransmits, 0u);
+}
+
+// --- Multi-queue NIC serving: the sec54_scaleout shape, replayed ---
+
+// A miniature of the scale-out bench: one multi-queue NIC, two serving
+// stacks (one per RX queue, IRQs routed to their cores), a client stack on
+// the wire side, TCP echo request/response across ephemeral-port flows that
+// RSS spreads over the queues. Everything that could perturb ordering is in
+// play: per-queue rings, IRQ latency timers, driver mask/unmask loops, DMA
+// pacing, and TX multiplexing onto one wire.
+struct ScaleoutRunResult {
+  Cycles final_now = 0;
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t frames_sent = 0;
+  std::vector<std::uint64_t> per_queue;  // rx, tx interleaved per queue
+  bool operator==(const ScaleoutRunResult&) const = default;
+};
+
+ScaleoutRunResult RunMultiQueueServingWorkload() {
+  const net::MacAddr kSrvMac{0x02, 0, 0, 0, 0, 0x01};
+  const net::MacAddr kCliMac{0x02, 0, 0, 0, 0, 0x77};
+  constexpr net::Ipv4Addr kSrvIp = net::MakeIp(10, 0, 0, 1);
+  constexpr net::Ipv4Addr kCliIp = net::MakeIp(10, 0, 0, 77);
+
+  sim::Executor exec;
+  hw::Machine machine(exec, hw::Amd4x4());
+  net::SimNic::Config cfg;
+  cfg.queues = 2;
+  cfg.irq_cores = {0, 4};
+  cfg.irq_latency = machine.spec().cost.ipi_wire;
+  cfg.rx_descs = 64;
+  cfg.tx_descs = 64;
+  cfg.gbps = 10.0;
+  net::SimNic nic(machine, cfg);
+
+  struct Harness {
+    Harness(hw::Machine& m, net::SimNic& n, net::Ipv4Addr srv_ip,
+            net::MacAddr srv_mac, net::Ipv4Addr cli_ip, net::MacAddr cli_mac)
+        : nic(n),
+          web0(m, 0, srv_ip, srv_mac),
+          web1(m, 4, srv_ip, srv_mac),
+          client(m, 12, cli_ip, cli_mac) {
+      web0.AddArp(cli_ip, cli_mac);
+      web1.AddArp(cli_ip, cli_mac);
+      client.AddArp(srv_ip, srv_mac);
+      web0.SetOutput([this](net::Packet p) -> Task<> {
+        (void)co_await nic.DriverTxPush(0, std::move(p), 0);
+      });
+      web1.SetOutput([this](net::Packet p) -> Task<> {
+        (void)co_await nic.DriverTxPush(4, std::move(p), 1);
+      });
+      client.SetOutput([this](net::Packet p) -> Task<> {
+        co_await nic.InjectFromWire(std::move(p));
+      });
+    }
+    net::SimNic& nic;
+    net::NetStack web0;
+    net::NetStack web1;
+    net::NetStack client;
+    bool stop = false;
+  };
+  Harness h(machine, nic, kSrvIp, kSrvMac, kCliIp, kCliMac);
+
+  // Echo servers: read one chunk, send it back, close.
+  auto serve = [](net::NetStack& stack, net::NetStack::Listener& l) -> Task<> {
+    for (;;) {
+      net::NetStack::TcpConn* conn = co_await l.Accept();
+      auto chunk = co_await conn->Read();
+      if (!chunk.empty()) {
+        co_await stack.TcpSend(*conn, chunk.data(), chunk.size());
+      }
+      co_await stack.TcpClose(*conn);
+    }
+  };
+  exec.Spawn(serve(h.web0, h.web0.TcpListen(80)));
+  exec.Spawn(serve(h.web1, h.web1.TcpListen(80)));
+
+  // Per-queue drivers, the bench's mask/poll/unmask loop.
+  auto driver = [](hw::Machine& m, Harness& hh, net::NetStack& stack, int core,
+                   int queue) -> Task<> {
+    while (!hh.stop) {
+      if (hh.nic.RxReady(queue)) {
+        hh.nic.SetInterruptsEnabled(queue, false);
+        while (hh.nic.RxReady(queue)) {
+          auto frame = co_await hh.nic.DriverRxPop(core, queue);
+          if (frame.has_value()) {
+            co_await m.Compute(core, 1400);
+            co_await stack.Input(std::move(*frame));
+          }
+        }
+        hh.nic.SetInterruptsEnabled(queue, true);
+        continue;
+      }
+      (void)co_await hh.nic.rx_irq(queue).WaitTimeout(20'000);
+    }
+  };
+  exec.Spawn(driver(machine, h, h.web0, 0, 0));
+  exec.Spawn(driver(machine, h, h.web1, 4, 1));
+
+  // Wire sink: NIC TX -> client stack.
+  exec.Spawn([](Harness& hh) -> Task<> {
+    while (!hh.stop) {
+      net::Packet p;
+      while (hh.nic.WirePop(&p)) {
+        co_await hh.client.Input(std::move(p));
+      }
+      co_await hh.nic.wire_out_ready().Wait();
+    }
+  }(h));
+
+  // Client: sequential echo requests; ephemeral ports walk the RSS space.
+  ScaleoutRunResult r;
+  exec.Spawn([](Harness& hh, ScaleoutRunResult& out) -> Task<> {
+    for (int i = 0; i < 12; ++i) {
+      net::NetStack::TcpConn* conn = co_await hh.client.TcpConnect(kSrvIp, 80);
+      std::vector<std::uint8_t> ping(64, static_cast<std::uint8_t>(i));
+      co_await hh.client.TcpSend(*conn, ping.data(), ping.size());
+      std::size_t got = 0;
+      while (got < ping.size()) {
+        auto chunk = co_await conn->Read();
+        if (chunk.empty() && conn->peer_closed) {
+          break;
+        }
+        got += chunk.size();
+      }
+      if (got == ping.size()) {
+        ++out.replies;
+      }
+      co_await hh.client.TcpClose(*conn);
+    }
+    hh.stop = true;
+    hh.nic.wire_out_ready().Signal();
+  }(h, r));
+
+  exec.Run();
+  r.final_now = exec.now();
+  r.events_dispatched = exec.events_dispatched();
+  r.frames_sent = nic.frames_sent();
+  for (int q = 0; q < nic.num_queues(); ++q) {
+    r.per_queue.push_back(nic.queue_stats(q).rx_frames);
+    r.per_queue.push_back(nic.queue_stats(q).tx_frames);
+  }
+  return r;
+}
+
+TEST(Determinism, MultiQueueServingReplaysBitIdentically) {
+  ScaleoutRunResult a = RunMultiQueueServingWorkload();
+  ScaleoutRunResult b = RunMultiQueueServingWorkload();
+  EXPECT_EQ(a, b);
+  // The workload did what it claims: every echo came back, and both queues
+  // carried traffic (ephemeral ports spread across the RSS space).
+  EXPECT_EQ(a.replies, 12u);
+  ASSERT_EQ(a.per_queue.size(), 4u);
+  EXPECT_GT(a.per_queue[0], 0u);  // queue 0 rx
+  EXPECT_GT(a.per_queue[2], 0u);  // queue 1 rx
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "net/stack.h"
 #include "net/wire.h"
 #include "sim/executor.h"
+#include "sim/random.h"
 
 namespace mk::net {
 namespace {
@@ -361,6 +362,343 @@ TEST(Stack, TcpSegmentsLargePayloadsByMss) {
   EXPECT_EQ(total, 5000u);
   // 5000 bytes over a 1460-byte MSS: at least 4 data segments + handshake.
   EXPECT_GE(f.a.frames_out(), 5u);
+}
+
+// --- Multi-queue NIC: RSS steering, per-queue rings/IRQs/counters ---
+
+Packet FlowFrame(std::uint16_t src_port, std::size_t bytes = 64) {
+  EthHeader eth{kMacB, kMacA, kEtherTypeIpv4};
+  IpHeader ip;
+  ip.src = kIpA;
+  ip.dst = kIpB;
+  std::vector<std::uint8_t> payload(bytes, 0x77);
+  return BuildUdpFrame(eth, ip, UdpHeader{src_port, 7, 0}, payload.data(),
+                       payload.size());
+}
+
+TEST(Rss, ExtractFlowTupleMatchesParseFrame) {
+  Packet frame = FlowFrame(5000, 128);
+  auto parsed = ParseFrame(frame);
+  auto tuple = ExtractFlowTuple(frame);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_EQ(tuple->src_ip, parsed->ip.src);
+  EXPECT_EQ(tuple->dst_ip, parsed->ip.dst);
+  EXPECT_EQ(tuple->proto, kIpProtoUdp);
+  EXPECT_EQ(tuple->src_port, parsed->udp->src_port);
+  EXPECT_EQ(tuple->dst_port, parsed->udp->dst_port);
+  // Runt and non-IP frames yield no tuple (and steer to queue 0), not a crash.
+  EXPECT_FALSE(ExtractFlowTuple(Packet(5, 0)).has_value());
+  Packet arp = FlowFrame(5000);
+  arp[12] = 0x08;
+  arp[13] = 0x06;
+  EXPECT_FALSE(ExtractFlowTuple(arp).has_value());
+}
+
+TEST(Rss, SteeringIsSeededAndDeterministic) {
+  // Same seed -> identical queue assignment (across runs and NIC instances);
+  // a different seed permutes at least some flows.
+  NicFixture f;
+  SimNic::Config cfg;
+  cfg.queues = 4;
+  SimNic nic_a(f.machine, cfg);
+  SimNic nic_b(f.machine, cfg);
+  SimNic::Config other = cfg;
+  other.rss_seed = cfg.rss_seed + 1;
+  SimNic nic_c(f.machine, other);
+  int moved = 0;
+  for (std::uint16_t p = 4000; p < 4100; ++p) {
+    Packet frame = FlowFrame(p);
+    int qa = nic_a.RssQueueFor(frame);
+    EXPECT_EQ(qa, nic_b.RssQueueFor(frame));
+    EXPECT_GE(qa, 0);
+    EXPECT_LT(qa, 4);
+    if (nic_c.RssQueueFor(frame) != qa) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(Rss, UniformFlowsSpreadAcrossQueues) {
+  NicFixture f;
+  SimNic::Config cfg;
+  cfg.queues = 4;
+  SimNic nic(f.machine, cfg);
+  const int kFlows = 2000;
+  std::array<int, 4> counts{};
+  for (int i = 0; i < kFlows; ++i) {
+    counts[static_cast<std::size_t>(
+        nic.RssQueueFor(FlowFrame(static_cast<std::uint16_t>(10000 + i))))]++;
+  }
+  // Expected 500 per queue; a keyed hash should stay within +-30%.
+  for (int c : counts) {
+    EXPECT_GT(c, 350) << "queue starved";
+    EXPECT_LT(c, 650) << "queue overloaded";
+  }
+}
+
+TEST(Rss, CorruptPayloadStaysOnItsFlowQueue) {
+  // Steering reads only the headers, pre-checksum: a frame whose payload was
+  // mangled on the wire must land on the queue its flow owns, so the drop is
+  // attributed to the right shard.
+  NicFixture f;
+  SimNic::Config cfg;
+  cfg.queues = 4;
+  SimNic nic(f.machine, cfg);
+  Packet frame = FlowFrame(6000, 256);
+  Packet corrupt = frame;
+  corrupt.back() ^= 0xff;
+  EXPECT_EQ(nic.RssQueueFor(frame), nic.RssQueueFor(corrupt));
+}
+
+TEST(Nic, MultiQueueSteersFramesToPredictedRings) {
+  NicFixture f;
+  SimNic::Config cfg;
+  cfg.queues = 4;
+  SimNic nic(f.machine, cfg);
+  std::array<std::uint64_t, 4> expected{};
+  f.exec.Spawn([](SimNic& n, std::array<std::uint64_t, 4>& exp) -> Task<> {
+    for (std::uint16_t p = 7000; p < 7032; ++p) {
+      Packet frame = FlowFrame(p);
+      exp[static_cast<std::size_t>(n.RssQueueFor(frame))]++;
+      co_await n.InjectFromWire(std::move(frame));
+    }
+  }(nic, expected));
+  f.exec.Run();
+  std::uint64_t total = 0;
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_EQ(nic.queue_stats(q).rx_frames, expected[static_cast<std::size_t>(q)]);
+    EXPECT_EQ(nic.RxReady(q), expected[static_cast<std::size_t>(q)] > 0);
+    total += nic.queue_stats(q).rx_frames;
+  }
+  EXPECT_EQ(total, 32u);
+  // Drain one non-empty queue; the others are untouched.
+  for (int q = 0; q < 4; ++q) {
+    if (!nic.RxReady(q)) {
+      continue;
+    }
+    std::uint64_t want = expected[static_cast<std::size_t>(q)];
+    std::uint64_t got = 0;
+    f.exec.Spawn([](SimNic& n, int queue, std::uint64_t& out) -> Task<> {
+      while (n.RxReady(queue)) {
+        auto frame = co_await n.DriverRxPop(2, queue);
+        if (frame) {
+          ++out;
+        }
+      }
+    }(nic, q, got));
+    f.exec.Run();
+    EXPECT_EQ(got, want);
+    break;
+  }
+}
+
+TEST(Nic, OverflowDropsAreAttributedToTheFullQueue) {
+  NicFixture f;
+  SimNic::Config cfg;
+  cfg.queues = 4;
+  cfg.rx_descs = 4;
+  SimNic nic(f.machine, cfg);
+  // One flow: every frame lands on the same queue, which overflows alone.
+  Packet frame = FlowFrame(9001);
+  const int hot = nic.RssQueueFor(frame);
+  f.exec.Spawn([](SimNic& n, std::uint16_t port) -> Task<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await n.InjectFromWire(FlowFrame(port));
+    }
+  }(nic, 9001));
+  f.exec.Run();
+  EXPECT_EQ(nic.queue_stats(hot).rx_frames, 4u);
+  EXPECT_EQ(nic.queue_stats(hot).rx_overflow_drops, 6u);
+  EXPECT_EQ(nic.frames_dropped(), 6u);
+  for (int q = 0; q < 4; ++q) {
+    if (q != hot) {
+      EXPECT_EQ(nic.queue_stats(q).rx_drops(), 0u) << "drop misattributed to q" << q;
+    }
+  }
+}
+
+TEST(Nic, PerQueueIrqRoutingAndMasking) {
+  NicFixture f;
+  SimNic::Config cfg;
+  cfg.queues = 2;
+  cfg.irq_core = 1;
+  cfg.irq_cores = {2, 5};
+  SimNic nic(f.machine, cfg);
+  EXPECT_EQ(nic.irq_core(0), 2);
+  EXPECT_EQ(nic.irq_core(1), 5);
+  // Find a port for each queue.
+  std::array<std::uint16_t, 2> port{};
+  for (std::uint16_t p = 3000; p < 3100; ++p) {
+    port[static_cast<std::size_t>(nic.RssQueueFor(FlowFrame(p)))] = p;
+  }
+  ASSERT_NE(port[0], 0);
+  ASSERT_NE(port[1], 0);
+  // Mask queue 1; its frame raises no IRQ while queue 0's does.
+  nic.SetInterruptsEnabled(1, false);
+  bool irq0 = false;
+  bool irq1 = false;
+  f.exec.Spawn([](SimNic& n, bool& out) -> Task<> {
+    out = co_await n.rx_irq(0).WaitTimeout(1'000'000);
+  }(nic, irq0));
+  f.exec.Spawn([](SimNic& n, bool& out) -> Task<> {
+    out = co_await n.rx_irq(1).WaitTimeout(1'000'000);
+  }(nic, irq1));
+  f.exec.Spawn([](SimNic& n, std::uint16_t p0, std::uint16_t p1) -> Task<> {
+    co_await n.InjectFromWire(FlowFrame(p0));
+    co_await n.InjectFromWire(FlowFrame(p1));
+  }(nic, port[0], port[1]));
+  f.exec.Run();
+  EXPECT_TRUE(irq0);
+  EXPECT_FALSE(irq1);
+  EXPECT_TRUE(nic.RxReady(1));  // the frame is in the ring, silently
+}
+
+TEST(Nic, IrqLatencyDelaysDelivery) {
+  NicFixture f;
+  SimNic::Config cfg;
+  cfg.irq_latency = 500;
+  SimNic nic(f.machine, cfg);
+  Cycles injected_at = 0;
+  Cycles raised_at = 0;
+  f.exec.Spawn([](sim::Executor& exec, SimNic& n, Cycles& inj, Cycles& got)
+                   -> Task<> {
+    auto waiter = [](sim::Executor& e, SimNic& nic2, Cycles& out) -> Task<> {
+      co_await nic2.rx_irq(0).Wait();
+      out = e.now();
+    };
+    exec.Spawn(waiter(exec, n, got));
+    co_await n.InjectFromWire(FlowFrame(1234));
+    inj = exec.now();
+  }(f.exec, nic, injected_at, raised_at));
+  f.exec.Run();
+  EXPECT_GT(injected_at, 0u);
+  EXPECT_EQ(raised_at, injected_at + 500);
+}
+
+TEST(Nic, MultiQueueReplayIsBitIdentical) {
+  // Same-seed multi-queue runs must be bit-identical, per-queue stats
+  // included (the scale-out bench's determinism rests on this).
+  auto run = [] {
+    NicFixture f;
+    SimNic::Config cfg;
+    cfg.queues = 4;
+    cfg.irq_latency = 300;
+    SimNic nic(f.machine, cfg);
+    f.exec.Spawn([](SimNic& n) -> Task<> {
+      for (std::uint16_t p = 100; p < 164; ++p) {
+        co_await n.InjectFromWire(FlowFrame(p, 32 + p % 800));
+      }
+    }(nic));
+    f.exec.Spawn([](SimNic& n) -> Task<> {
+      for (int i = 0; i < 16; ++i) {
+        co_await n.DriverTxPush(2, FlowFrame(9000), i % 4);
+      }
+    }(nic));
+    f.exec.Run();
+    std::vector<std::uint64_t> sig{f.exec.events_dispatched(), f.exec.now(),
+                                   nic.frames_sent(), nic.frames_dropped()};
+    for (int q = 0; q < 4; ++q) {
+      sig.push_back(nic.queue_stats(q).rx_frames);
+      sig.push_back(nic.queue_stats(q).tx_frames);
+    }
+    return sig;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- Malformed-frame fuzz: the parse path must reject, count, and not crash ---
+
+TEST(StackFuzz, MalformedFramesNeverCrashAndEveryFrameIsAccountedFor) {
+  sim::Executor exec;
+  hw::Machine m(exec, hw::Amd2x2());
+  NetStack s(m, 0, kIpB, kMacB);
+  auto& sock = s.UdpBind(7);
+  sim::Rng rng(0xfeedface);
+  const int kFrames = 400;
+  std::uint64_t delivered = 0;
+  exec.Spawn([](NetStack& st, NetStack::UdpSocket& so, sim::Rng& r, int n,
+                std::uint64_t& ok) -> Task<> {
+    for (int i = 0; i < n; ++i) {
+      Packet frame = ValidUdpFrame(kIpB, 7, 32 + r.Below(512));
+      switch (r.Below(6)) {
+        case 0:  // pristine
+          break;
+        case 1:  // runt: truncate to a random prefix (possibly < eth header)
+          frame.resize(r.Below(frame.size() + 1));
+          break;
+        case 2:  // giant: oversized tail the IP total_length does not cover
+          frame.resize(frame.size() + 2000 + r.Below(2000), 0xee);
+          break;
+        case 3:  // single bit flip anywhere (header or payload)
+          frame[r.Below(frame.size())] ^= static_cast<std::uint8_t>(
+              1u << r.Below(8));
+          break;
+        case 4:  // mangled length fields
+          frame[kEthHeaderBytes + 2] ^= 0xff;
+          break;
+        default:  // garbage of arbitrary size
+          frame.assign(r.Below(80), static_cast<std::uint8_t>(r.Below(256)));
+          break;
+      }
+      co_await st.Input(std::move(frame));
+      NetStack::UdpDatagram d;
+      while (so.TryRecv(&d)) {
+        ++ok;
+      }
+    }
+  }(s, sock, rng, kFrames, delivered));
+  exec.Run();
+  EXPECT_EQ(s.frames_in(), static_cast<std::uint64_t>(kFrames));
+  // Every input frame was either delivered or attributed to a drop cause.
+  EXPECT_EQ(delivered + s.drops(), static_cast<std::uint64_t>(kFrames));
+  EXPECT_GT(delivered, 0u);
+  EXPECT_GT(s.drops_bad_frame(), 0u);
+}
+
+TEST(NicFuzz, MalformedFramesThroughTheNicAreSteeredSafely) {
+  // The same mutation classes pushed through a 4-queue NIC: steering must be
+  // bounds-safe on runts/giants and the ring invariants must hold.
+  NicFixture f;
+  SimNic::Config cfg;
+  cfg.queues = 4;
+  cfg.rx_descs = 64;
+  SimNic nic(f.machine, cfg);
+  sim::Rng rng(0xabad1dea);
+  const int kFrames = 300;
+  f.exec.Spawn([](SimNic& n, sim::Rng& r, int total) -> Task<> {
+    for (int i = 0; i < total; ++i) {
+      Packet frame = FlowFrame(static_cast<std::uint16_t>(r.Below(65536)),
+                               16 + r.Below(256));
+      switch (r.Below(4)) {
+        case 0:
+          break;
+        case 1:
+          frame.resize(r.Below(frame.size() + 1));
+          break;
+        case 2:
+          frame.resize(frame.size() + r.Below(1500), 0x11);
+          break;
+        default:
+          if (!frame.empty()) {
+            frame[r.Below(frame.size())] ^= 0x40;
+          }
+          break;
+      }
+      int q = n.RssQueueFor(frame);
+      EXPECT_GE(q, 0);
+      EXPECT_LT(q, 4);
+      co_await n.InjectFromWire(std::move(frame));
+    }
+  }(nic, rng, kFrames));
+  f.exec.Run();
+  std::uint64_t ringed = 0;
+  for (int q = 0; q < 4; ++q) {
+    ringed += nic.queue_stats(q).rx_frames;
+    EXPECT_LE(nic.queue_stats(q).rx_frames, 64u);
+  }
+  EXPECT_EQ(ringed + nic.frames_dropped(), static_cast<std::uint64_t>(kFrames));
 }
 
 TEST(SharedKernelLoopback, DeliversPacketsInOrder) {
