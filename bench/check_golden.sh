@@ -30,6 +30,7 @@ BENCHES=(
   sec54_netperf
   sec54_webserver
   sec54_scaleout
+  sec54_failover
   polling_model
   ablation_urpc
 )

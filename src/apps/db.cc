@@ -344,6 +344,14 @@ std::size_t Database::TableRows(const std::string& name) const {
   return it == tables_.end() ? 0 : it->second.rows.size();
 }
 
+std::size_t Database::TotalRows() const {
+  std::size_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    total += table.rows.size();
+  }
+  return total;
+}
+
 bool Database::HasTable(const std::string& name) const { return tables_.count(name) != 0; }
 
 }  // namespace mk::apps

@@ -44,6 +44,8 @@ class Database {
   std::variant<ResultSet, DbError> Query(const std::string& sql) const;
 
   std::size_t TableRows(const std::string& name) const;
+  // Rows across all tables: the size basis for replica state transfer.
+  std::size_t TotalRows() const;
   bool HasTable(const std::string& name) const;
 
  private:

@@ -56,7 +56,10 @@ class DbReplicaCluster {
 
   // Web-side query: runs `sql` on the shard's replica, returns rendered
   // rows. One outstanding RPC per shard (the reply channel carries no
-  // request ids), exactly like the single-DB bench.
+  // request ids), exactly like the single-DB bench. Under fault injection the
+  // reply wait is bounded (RecoveryConfig::db_rpc_timeout); a timeout marks
+  // the replica dead and the query retries against the redirect target, up to
+  // db_max_attempts distinct replicas.
   Task<std::string> Query(int shard, std::string sql);
 
   // Poisons every shard's request channel; their Serve() loops drain and
@@ -66,6 +69,34 @@ class DbReplicaCluster {
   std::uint64_t queries_served(int shard) const {
     return shards_[static_cast<std::size_t>(shard)]->served;
   }
+
+  // --- Failover (driven by mk::recover view changes) ---
+
+  // Membership-driven: marks every replica whose DB core is `dead_core` dead
+  // and re-points shards that were using a dead replica at a live one
+  // (deterministically: the nearest following live replica). Returns the
+  // shards whose redirect changed. Queries in flight against the dead replica
+  // recover via their reply timeout; new queries go straight to the target.
+  std::vector<int> HandleCoreFailure(int dead_core);
+
+  // Spawns a replacement replica for `shard` on `spare_db_core`: state
+  // transfer of the database from the live replica `shard` currently
+  // redirects to (charged like monitor hotplug catch-up: posted writes at the
+  // source, read back at the spare), then the shard's redirect points home
+  // again. The caller spawns Serve(shard) afterwards; the dead replica's
+  // parked server task is retired with its Shard object.
+  Task<bool> Respawn(int shard, int spare_db_core);
+
+  int redirect(int shard) const { return redirect_[static_cast<std::size_t>(shard)]; }
+  bool replica_dead(int shard) const { return dead_[static_cast<std::size_t>(shard)]; }
+  // Bumped by Respawn; a query's timeout verdict only counts against the
+  // incarnation it actually talked to (a reply wait that started against the
+  // dead replica must not declare its replacement dead).
+  std::uint64_t incarnation(int shard) const {
+    return incarnation_[static_cast<std::size_t>(shard)];
+  }
+  std::uint64_t respawns() const { return respawns_; }
+  std::uint64_t failover_timeouts() const { return failover_timeouts_; }
 
  private:
   struct Shard {
@@ -81,8 +112,21 @@ class DbReplicaCluster {
     std::uint64_t served = 0;
   };
 
+  // First live replica at or after `from` (wrapping); -1 if none.
+  int FirstLiveReplica(int from) const;
+
   hw::Machine& machine_;
+  Database source_;  // respawn source (the primary's copy)
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Where shard s's queries actually go (identity until failover).
+  std::vector<int> redirect_;
+  std::vector<bool> dead_;
+  std::vector<std::uint64_t> incarnation_;
+  // Dead replicas' Shard objects stay alive here: their parked Serve() tasks
+  // and in-flight queries still reference them.
+  std::vector<std::unique_ptr<Shard>> retired_;
+  std::uint64_t respawns_ = 0;
+  std::uint64_t failover_timeouts_ = 0;
 };
 
 }  // namespace mk::apps

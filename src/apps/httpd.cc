@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "fault/fault.h"
 #include "sim/random.h"
+#include "trace/trace.h"
 
 namespace mk::apps {
 bool ParseHttpRequest(const std::string& text, HttpRequest* out) {
@@ -62,7 +64,17 @@ std::string StaticIndexPage() {
 HttpServer::HttpServer(hw::Machine& machine, net::NetStack& stack, std::uint16_t port,
                        DbQueryFn db_query, Cycles request_cost)
     : machine_(machine), stack_(stack), port_(port), db_query_(std::move(db_query)),
-      request_cost_(request_cost) {}
+      request_cost_(request_cost), pending_ready_(machine.exec()) {}
+
+namespace {
+// Fail-stop check for the serving tasks: a handler on a halted core abandons
+// its work (no response, no accounting), exactly like a process dying with
+// its core. Injector-gated, so plain runs never evaluate the predicate.
+bool ServingCoreHalted(hw::Machine& machine, int core) {
+  fault::Injector* inj = fault::Injector::active();
+  return inj != nullptr && inj->CoreHalted(core, machine.exec().now());
+}
+}  // namespace
 
 Task<HttpResponse> HttpServer::Handle(const HttpRequest& req) {
   ++requests_served_;
@@ -103,6 +115,9 @@ Task<> HttpServer::ServeConnection(net::NetStack::TcpConn* conn) {
       break;
     }
   }
+  if (ServingCoreHalted(machine_, stack_.core())) {
+    co_return;  // fail-stop mid-request: the client never hears back
+  }
   HttpRequest req;
   HttpResponse resp;
   if (request_text.size() > kMaxRequestBytes ||
@@ -112,15 +127,69 @@ Task<> HttpServer::ServeConnection(net::NetStack::TcpConn* conn) {
   } else {
     resp = co_await Handle(req);
   }
+  if (ServingCoreHalted(machine_, stack_.core())) {
+    co_return;
+  }
   co_await stack_.TcpSend(*conn, RenderHttpResponse(resp));
   co_await stack_.TcpClose(*conn);
 }
 
+Task<> HttpServer::ShedConnection(net::NetStack::TcpConn* conn) {
+  HttpResponse resp;
+  resp.status = 503;
+  resp.body = "overloaded";
+  co_await stack_.TcpSend(*conn, RenderHttpResponse(resp));
+  co_await stack_.TcpClose(*conn);
+}
+
+Task<> HttpServer::Worker() {
+  while (true) {
+    while (pending_.empty()) {
+      co_await pending_ready_.Wait();
+    }
+    auto [conn, enqueued_at] = pending_.front();
+    pending_.pop_front();
+    if (ServingCoreHalted(machine_, stack_.core())) {
+      co_return;  // fail-stop: the worker dies with its core
+    }
+    if (admission_.queue_deadline > 0 &&
+        machine_.exec().now() - enqueued_at > admission_.queue_deadline) {
+      ++shed_deadline_;
+      trace::Emit<trace::Category::kRecover>(trace::EventId::kRecoverShed,
+                                             machine_.exec().now(), stack_.core(),
+                                             /*cause=*/1);
+      co_await ShedConnection(conn);
+      continue;
+    }
+    co_await ServeConnection(conn);
+  }
+}
+
 Task<> HttpServer::Serve() {
   auto& listener = stack_.TcpListen(port_);
+  for (int w = 0; w < admission_.workers; ++w) {
+    machine_.exec().Spawn(Worker());
+  }
   while (true) {
     net::NetStack::TcpConn* conn = co_await listener.Accept();
-    machine_.exec().Spawn(ServeConnection(conn));
+    if (admission_.workers == 0) {
+      machine_.exec().Spawn(ServeConnection(conn));  // legacy: unbounded
+      continue;
+    }
+    if (ServingCoreHalted(machine_, stack_.core())) {
+      co_return;
+    }
+    if (admission_.max_pending > 0 &&
+        static_cast<int>(pending_.size()) >= admission_.max_pending) {
+      ++shed_queue_full_;
+      trace::Emit<trace::Category::kRecover>(trace::EventId::kRecoverShed,
+                                             machine_.exec().now(), stack_.core(),
+                                             /*cause=*/0);
+      machine_.exec().Spawn(ShedConnection(conn));
+      continue;
+    }
+    pending_.emplace_back(conn, machine_.exec().now());
+    pending_ready_.Signal();
   }
 }
 

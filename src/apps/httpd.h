@@ -4,12 +4,15 @@
 #define MK_APPS_HTTPD_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "apps/db.h"
 #include "hw/machine.h"
 #include "net/stack.h"
+#include "sim/event.h"
 #include "sim/task.h"
 
 namespace mk::apps {
@@ -56,6 +59,22 @@ class HttpServer {
   HttpServer(hw::Machine& machine, net::NetStack& stack, std::uint16_t port,
              DbQueryFn db_query = nullptr, Cycles request_cost = 60000);
 
+  // Explicit overload policy. The legacy discipline (all fields zero) spawns
+  // one unbounded handler per accepted connection — under overload every
+  // request gets slower until clients time out, a collapse. With `workers` >
+  // 0 accepted connections enter a bounded admission queue drained by that
+  // many handler tasks; a connection arriving to a full queue is answered 503
+  // immediately (shed-by-queue-full), and one that waited longer than
+  // `queue_deadline` is answered 503 at dequeue instead of being served
+  // late (shed-by-deadline). Shedding keeps served-request latency bounded
+  // while a degraded shard carries more than its share of load.
+  struct Admission {
+    int workers = 0;            // 0 = legacy spawn-per-connection
+    int max_pending = 0;        // admission-queue cap; 0 = unbounded
+    Cycles queue_deadline = 0;  // max queue wait before shedding; 0 = never
+  };
+  void SetAdmission(Admission a) { admission_ = a; }
+
   // Accept loop: serves connections until the stack shuts down. Spawn this.
   Task<> Serve();
 
@@ -63,16 +82,27 @@ class HttpServer {
   Task<HttpResponse> Handle(const HttpRequest& req);
 
   std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t shed_queue_full() const { return shed_queue_full_; }
+  std::uint64_t shed_deadline() const { return shed_deadline_; }
 
  private:
   Task<> ServeConnection(net::NetStack::TcpConn* conn);
+  // Answers 503 and closes; the cheap path that keeps shedding graceful.
+  Task<> ShedConnection(net::NetStack::TcpConn* conn);
+  // Admission-queue drainer; `workers` of these run when the policy is on.
+  Task<> Worker();
 
   hw::Machine& machine_;
   net::NetStack& stack_;
   std::uint16_t port_;
   DbQueryFn db_query_;
   Cycles request_cost_;
+  Admission admission_;
+  std::deque<std::pair<net::NetStack::TcpConn*, Cycles>> pending_;
+  sim::Event pending_ready_;
   std::uint64_t requests_served_ = 0;
+  std::uint64_t shed_queue_full_ = 0;
+  std::uint64_t shed_deadline_ = 0;
 };
 
 // Builds the TPC-W-like browsing database (items and authors tables).

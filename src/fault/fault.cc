@@ -158,6 +158,7 @@ bool Armed(const FaultSpec& s, sim::Cycles now) {
 bool Injector::CoreHalted(int core, sim::Cycles now) const {
   for (const SpecState& st : specs_) {
     if (st.spec.kind == FaultKind::kCoreHalt && st.spec.a == core && now >= st.spec.at) {
+      ++st.activations;
       return true;
     }
   }
@@ -192,6 +193,7 @@ Injector::SpecState* Injector::Consume(FaultKind kind, sim::Cycles now, int a, i
       continue;
     }
     ++st.fired;
+    ++st.activations;
     ++injected_[static_cast<std::size_t>(kind)];
     return &st;
   }
@@ -223,10 +225,47 @@ sim::Cycles Injector::LinkExtra(sim::Cycles now) const {
   sim::Cycles extra = 0;
   for (const SpecState& st : specs_) {
     if (st.spec.kind == FaultKind::kLinkDelay && Armed(st.spec, now)) {
+      ++st.activations;
       extra += st.spec.extra;
     }
   }
   return extra;
+}
+
+bool Injector::AllSpecsActivated() const {
+  for (const SpecState& st : specs_) {
+    if (st.activations == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Injector::PrintActivationTable(std::FILE* out) const {
+  std::fprintf(out, "fault plan coverage (%zu specs):\n", specs_.size());
+  std::fprintf(out, "  %3s %-14s %12s %12s %4s %4s %5s %12s\n", "#", "kind", "at",
+               "until", "a", "b", "cap", "activations");
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& s = specs_[i].spec;
+    char until[24];
+    if (s.until == kForever) {
+      std::snprintf(until, sizeof until, "%s", "-");
+    } else {
+      std::snprintf(until, sizeof until, "%llu",
+                    static_cast<unsigned long long>(s.until));
+    }
+    char cap[16];
+    if (s.count == kUnlimited) {
+      std::snprintf(cap, sizeof cap, "%s", "-");
+    } else {
+      std::snprintf(cap, sizeof cap, "%d", s.count);
+    }
+    std::fprintf(out, "  %3zu %-14s %12llu %12s %4d %4d %5s %12llu%s\n", i,
+                 FaultKindName(s.kind), static_cast<unsigned long long>(s.at),
+                 until, s.a, s.b, cap,
+                 static_cast<unsigned long long>(specs_[i].activations),
+                 specs_[i].activations == 0 ? "  <-- never fired" : "");
+  }
 }
 
 }  // namespace mk::fault

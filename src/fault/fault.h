@@ -30,6 +30,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <vector>
 
@@ -151,10 +152,27 @@ class Injector {
     return injected_[static_cast<std::size_t>(k)];
   }
 
+  // --- Per-spec coverage accounting ---
+  //
+  // Every spec counts its activations: consuming kinds count firings, the
+  // interval predicates (kCoreHalt, kLinkDelay) count the times they answered
+  // "yes". A spec with zero activations is a silent no-op — the plan named a
+  // core, queue, or window the run never touched — which coverage-checking
+  // benches treat as an error (see fig8_twopc --kill-core).
+  std::size_t num_specs() const { return specs_.size(); }
+  const FaultSpec& spec(std::size_t i) const { return specs_[i].spec; }
+  std::uint64_t activations(std::size_t i) const { return specs_[i].activations; }
+  bool AllSpecsActivated() const;
+  // Prints one row per spec: kind, window, endpoints, cap, activations.
+  void PrintActivationTable(std::FILE* out = stdout) const;
+
  private:
   struct SpecState {
     FaultSpec spec;
     int fired = 0;
+    // Mutable: the const interval predicates (CoreHalted, LinkExtra) record
+    // coverage without giving up their pure-query signatures.
+    mutable std::uint64_t activations = 0;
     sim::Rng rng;
     explicit SpecState(const FaultSpec& s) : spec(s), rng(s.seed) {}
   };

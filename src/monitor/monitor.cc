@@ -365,7 +365,7 @@ Task<Monitor::CollectiveResult> Monitor::RunCollective(OpMsg msg) {
   // detect the dead core(s), and exclude them from subsequent rounds.
   bool timed_out = false;
   if (fault::Injector::active() != nullptr) {
-    timed_out = !co_await done.WaitTimeout(kPhaseTimeout);
+    timed_out = !co_await done.WaitTimeout(recover::Config().phase_timeout);
   } else {
     co_await done.Wait();
   }
@@ -449,8 +449,8 @@ Task<Monitor::TwoPcResult> Monitor::TwoPhase(OpMsg msg) {
   // A phase timeout (dead participant, fault injection) counts as retryable:
   // the timed-out round excluded the dead cores, so the next attempt can
   // commit among the survivors.
-  constexpr int kMaxAttempts = 12;
-  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+  const int max_attempts = recover::Config().max_attempts;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
     ++result.attempts;
     msg.kind = OpKind::kPrepare;
     const Cycles prep_start = m.exec().now();
@@ -520,7 +520,7 @@ Task<caps::CapErr> Monitor::SendCap(int dest_core, caps::CapId id) {
   co_await sys_.GetChannel(core_, dest_core, -1).Send(urpc::Pack(kTagOp, msg));
   if (fault::Injector::active() != nullptr) {
     // The destination may be dead; bound the wait and report it distinctly.
-    if (!co_await done.WaitTimeout(kPhaseTimeout)) {
+    if (!co_await done.WaitTimeout(recover::Config().phase_timeout)) {
       ops_.erase(msg.op_id);
       sys_.ExcludeHaltedCores();
       co_return caps::CapErr::kTimeout;
@@ -559,7 +559,7 @@ void MonitorSystem::Boot() {
 
 Task<> MonitorSystem::HeartbeatLoop() {
   while (running_) {
-    co_await machine_.exec().Delay(kHeartbeatPeriod);
+    co_await machine_.exec().Delay(recover::Config().heartbeat_period);
     if (!running_) {
       break;
     }
@@ -581,6 +581,9 @@ int MonitorSystem::ExcludeHaltedCores() {
                                            machine_.exec().now(), c,
                                            static_cast<std::uint64_t>(c));
       on(c).work_.Signal();  // its loop observes the halt and parks
+      if (exclusion_hook_) {
+        exclusion_hook_(c);
+      }
       ++excluded;
     }
   }

@@ -31,6 +31,7 @@
 #include "hw/machine.h"
 #include "kernel/cpu_driver.h"
 #include "monitor/proto.h"
+#include "recover/config.h"
 #include "sim/event.h"
 #include "sim/task.h"
 #include "sim/types.h"
@@ -42,13 +43,9 @@ namespace mk::monitor {
 using sim::Cycles;
 using sim::Task;
 
-// Recovery timing, used only while a fault::Injector is installed. The phase
-// timeout bounds how long a 2PC initiator waits for a phase's acks before
-// presuming abort; it comfortably exceeds the slowest observed collective on
-// the modeled machines. The heartbeat is how often non-initiating monitors
-// sweep for dead peers.
-inline constexpr Cycles kPhaseTimeout = 500'000;
-inline constexpr Cycles kHeartbeatPeriod = 50'000;
+// Recovery timing (phase timeout, heartbeat period, 2PC retry budget) lives
+// in recover::RecoveryConfig — see src/recover/config.h. It is consulted only
+// while a fault::Injector is installed.
 
 class MonitorSystem;
 
@@ -233,6 +230,12 @@ class MonitorSystem {
   // from the view. Returns how many cores were excluded by this call.
   int ExcludeHaltedCores();
 
+  // Called once per newly excluded core, after it is marked offline+failed,
+  // in exclusion order. mk::recover's MembershipService subscribes here to
+  // drive a membership view change; the hook must not block (it may spawn).
+  using ExclusionHook = std::function<void(int dead_core)>;
+  void SetExclusionHook(ExclusionHook hook) { exclusion_hook_ = std::move(hook); }
+
   // Periodic ExcludeHaltedCores sweep; spawned by Boot when an Injector is
   // installed, so participants that are *not* initiating 2PC also learn of
   // dead peers.
@@ -288,6 +291,7 @@ class MonitorSystem {
   std::map<std::pair<int, bool>, skb::MulticastRoute> routes_;
   std::vector<bool> online_;
   std::vector<bool> failed_;
+  ExclusionHook exclusion_hook_;
   bool running_ = false;
 };
 

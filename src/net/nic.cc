@@ -1,5 +1,8 @@
 #include "net/nic.h"
 
+#include <algorithm>
+#include <cassert>
+
 #include "fault/fault.h"
 
 namespace mk::net {
@@ -45,6 +48,43 @@ SimNic::SimNic(hw::Machine& machine, Config config)
                           : config_.irq_core;
     queues_.push_back(std::move(queue));
   }
+  // Identity RETA: reta_[hash % slots] == hash % queues when slots == queues,
+  // so the default table is bit-identical to direct modulo steering.
+  int slots = config_.reta_slots > 0 ? config_.reta_slots : config_.queues;
+  reta_.resize(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    reta_[static_cast<std::size_t>(i)] = i % config_.queues;
+  }
+}
+
+void SimNic::SetRetaEntry(int slot, int queue) {
+  assert(queue >= 0 && queue < config_.queues);
+  reta_[static_cast<std::size_t>(slot)] = queue;
+  reta_reprogrammed_ = true;
+}
+
+int SimNic::ResteerQueue(int dead_queue, const std::vector<int>& survivors) {
+  if (survivors.empty()) {
+    return 0;
+  }
+  int rewritten = 0;
+  std::size_t next = 0;
+  for (std::size_t slot = 0; slot < reta_.size(); ++slot) {
+    if (reta_[slot] == dead_queue) {
+      reta_[slot] = survivors[next % survivors.size()];
+      ++next;
+      ++rewritten;
+    }
+  }
+  if (rewritten > 0) {
+    reta_reprogrammed_ = true;
+    trace::Emit<trace::Category::kRecover>(
+        trace::EventId::kRecoverResteer, machine_.exec().now(),
+        queues_[static_cast<std::size_t>(survivors.front())]->irq_core,
+        static_cast<std::uint64_t>(dead_queue),
+        static_cast<std::uint64_t>(rewritten));
+  }
+  return rewritten;
 }
 
 Cycles SimNic::CyclesPerByte() const {
@@ -60,8 +100,33 @@ int SimNic::RssQueueFor(const Packet& frame) const {
   if (!tuple.has_value()) {
     return 0;  // non-IP / runt frames go to the default queue, like real RSS
   }
-  return static_cast<int>(RssHash(config_.rss_seed, *tuple) %
-                          static_cast<std::uint32_t>(config_.queues));
+  std::uint32_t hash = RssHash(config_.rss_seed, *tuple);
+  return reta_[hash % static_cast<std::uint32_t>(reta_.size())];
+}
+
+void SimNic::NoteAdoptedFlow(const Packet& frame, int queue) {
+  if (config_.queues <= 1) {
+    return;
+  }
+  std::optional<FlowTuple> tuple = ExtractFlowTuple(frame);
+  if (!tuple.has_value()) {
+    return;
+  }
+  std::uint32_t hash = RssHash(config_.rss_seed, *tuple);
+  int default_queue =
+      static_cast<int>(hash % static_cast<std::uint32_t>(config_.queues));
+  if (default_queue == queue) {
+    return;  // the reprogrammed table agrees with the default for this flow
+  }
+  Queue& q = *queues_[static_cast<std::size_t>(queue)];
+  ++q.stats.rx_adopted;
+  if (std::find(adopted_hashes_.begin(), adopted_hashes_.end(), hash) ==
+      adopted_hashes_.end()) {
+    adopted_hashes_.push_back(hash);
+    trace::Emit<trace::Category::kRecover>(
+        trace::EventId::kRecoverFlowAdopt, machine_.exec().now(), q.irq_core,
+        static_cast<std::uint64_t>(queue), hash);
+  }
 }
 
 void SimNic::RaiseRxIrq(int queue) {
@@ -95,6 +160,9 @@ Task<> SimNic::InjectFromWire(Packet frame) {
   // frame corrupted on the wire lands on its flow's queue, so the drop is
   // attributed to the shard that owns the flow.
   int queue = RssQueueFor(frame);
+  if (reta_reprogrammed_) {
+    NoteAdoptedFlow(frame, queue);
+  }
   Queue& q = *queues_[static_cast<std::size_t>(queue)];
   // Fault injection happens after the wire pacing (the bits still occupied
   // the link) but before the frame reaches the RX ring: a dropped frame never

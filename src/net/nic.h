@@ -40,6 +40,13 @@ class SimNic {
     // --- Multi-queue (82576-class) ---
     int queues = 1;  // RX/TX queue pairs; flows steered by RSS over 4-tuples
     std::uint64_t rss_seed = 0x52535348;  // 'RSSH': keyed flow->queue hash
+    // RSS indirection table (RETA) slots: the hash picks a slot, the slot
+    // names a queue. 0 means `queues` slots with the identity mapping, which
+    // is bit-identical to direct `hash % queues` steering for every queue
+    // count (a fixed 128-slot table would not be: `hash % 128 % q` differs
+    // from `hash % q` for non-power-of-2 q). Failover reprograms entries at
+    // runtime to move a dead queue's flows onto survivors.
+    int reta_slots = 0;
     // Per-queue interrupt routing; empty means every queue -> irq_core,
     // shorter than `queues` falls back to irq_core for the tail.
     std::vector<int> irq_cores;
@@ -58,6 +65,9 @@ class SimNic {
     std::uint64_t tx_frames = 0;          // frames serialized onto the wire
     std::uint64_t tx_fault_drops = 0;     // injected loss after TX DMA
     std::uint64_t tx_ring_full = 0;       // DriverTxPush refused
+    // Frames landing here only because the RETA was reprogrammed (the default
+    // mapping would have steered them to the queue they were re-steered off).
+    std::uint64_t rx_adopted = 0;
     std::uint64_t rx_drops() const { return rx_overflow_drops + rx_fault_drops; }
   };
 
@@ -82,9 +92,20 @@ class SimNic {
     return queues_[static_cast<std::size_t>(queue)]->stats;
   }
   // The steering decision for a frame (pure, host-side): which RX queue the
-  // RSS hash assigns it to. Exposed so tests and load generators can predict
-  // placement.
+  // RETA assigns its RSS hash to. Exposed so tests and load generators can
+  // predict placement.
   int RssQueueFor(const Packet& frame) const;
+
+  // --- RSS indirection table (runtime reprogrammable) ---
+
+  int reta_slots() const { return static_cast<int>(reta_.size()); }
+  int reta_entry(int slot) const { return reta_[static_cast<std::size_t>(slot)]; }
+  void SetRetaEntry(int slot, int queue);
+  // Failover: rewrites every RETA slot currently naming `dead_queue` to the
+  // survivors, round-robin in the order given. Returns the number of slots
+  // rewritten. Frames already sitting in the dead queue's RX ring stay there
+  // (a real NIC cannot recall DMA'd descriptors); only future frames move.
+  int ResteerQueue(int dead_queue, const std::vector<int>& survivors);
 
   // --- Driver side (per queue; the defaults keep single-queue callers) ---
 
@@ -137,10 +158,16 @@ class SimNic {
 
   Task<> DmaOut(Packet frame, std::uint64_t flow, int queue);
   void RaiseRxIrq(int queue);
+  // Adopted-flow accounting for a frame steered to `queue`; called only once
+  // the RETA has been reprogrammed (zero work on the default mapping).
+  void NoteAdoptedFlow(const Packet& frame, int queue);
 
   hw::Machine& machine_;
   Config config_;
   std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<int> reta_;          // slot -> queue
+  bool reta_reprogrammed_ = false;
+  std::vector<std::uint32_t> adopted_hashes_;  // flows already traced as adopted
   std::deque<std::pair<int, Packet>> tx_wire_;  // (source queue, frame)
   sim::FifoResource wire_in_;   // inbound line-rate pacing (one wire)
   sim::FifoResource wire_out_;  // outbound line-rate pacing (one wire)

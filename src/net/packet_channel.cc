@@ -36,6 +36,19 @@ Task<> PacketChannel::Send(Packet packet) {
   co_await descr_.Send(urpc::Pack(1, d));
 }
 
+Task<std::optional<Packet>> PacketChannel::RecvTimeout(Cycles timeout) {
+  const Cycles deadline = machine_.exec().now() + timeout;
+  while (!HasPacket()) {
+    Cycles now = machine_.exec().now();
+    if (now >= deadline || !co_await descr_.readable().WaitTimeout(deadline - now)) {
+      if (!HasPacket()) {  // arrival may have raced the timer
+        co_return std::nullopt;
+      }
+    }
+  }
+  co_return co_await Recv();
+}
+
 Task<Packet> PacketChannel::Recv() {
   urpc::Message msg = co_await descr_.Recv();
   auto d = urpc::Unpack<Descriptor>(msg);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 
 #include "hw/machine.h"
 #include "net/wire.h"
@@ -36,6 +37,12 @@ class PacketChannel {
   // Receives the next packet, charging the descriptor fetch and the payload
   // line reads.
   Task<Packet> Recv();
+
+  // Recv with a bound on the wait: returns nullopt if no packet arrives
+  // within `timeout` cycles. This is the recovery path for receivers whose
+  // sender may have fail-stop halted (DB replica failover); it schedules a
+  // timer event, so callers gate it on fault::Injector::active().
+  Task<std::optional<Packet>> RecvTimeout(Cycles timeout);
 
   bool HasPacket() const { return descr_.HasMessage(); }
   sim::Event& readable() { return descr_.readable(); }

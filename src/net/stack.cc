@@ -208,7 +208,7 @@ Task<> NetStack::RetransmitTimer(TcpConn& conn) {
   // Go-back-N: on each timeout with no forward progress, re-send everything
   // outstanding from snd_una. The connection object is owned by conns_ and
   // never erased, so the reference stays valid across suspensions.
-  Cycles rto = kTcpRto;
+  Cycles rto = recover::Config().tcp_rto;
   int tries = 0;
   while (fault::Injector::active() != nullptr && !conn.unacked.empty()) {
     std::uint32_t una_before = conn.snd_una;
@@ -217,11 +217,11 @@ Task<> NetStack::RetransmitTimer(TcpConn& conn) {
       break;
     }
     if (conn.snd_una != una_before) {
-      rto = kTcpRto;  // forward progress: reset the backoff
+      rto = recover::Config().tcp_rto;  // forward progress: reset the backoff
       tries = 0;
       continue;
     }
-    if (++tries > kTcpMaxRetx) {
+    if (++tries > recover::Config().tcp_max_retx) {
       break;  // peer presumed dead; stop re-arming so the executor can drain
     }
     ++tcp_retransmits_;
@@ -260,6 +260,17 @@ Task<NetStack::TcpConn*> NetStack::TcpConnect(Ipv4Addr dst_ip, std::uint16_t dst
   const Cycles deadline = machine_.exec().now() + timeout;
   co_await SendTcpSegment(*c, TcpFlags{.syn = true}, nullptr, 0);
   while (!c->established) {
+    if (c->peer_closed) {
+      // RST before the handshake completed (only possible under injection):
+      // the peer refuses this connection. Abandon it in place — the conn
+      // object must stay owned by conns_ because the SYN's RetransmitTimer
+      // may still hold a reference to it across a Delay; clearing unacked
+      // makes that timer exit at its next wake. Ephemeral ports are never
+      // reused, so the dead map entry can't shadow a future flow.
+      c->abandoned = true;
+      c->unacked.clear();
+      co_return nullptr;
+    }
     if (timeout == 0) {
       co_await c->readable.Wait();
       continue;
@@ -268,7 +279,9 @@ Task<NetStack::TcpConn*> NetStack::TcpConnect(Ipv4Addr dst_ip, std::uint16_t dst
     if (now >= deadline ||
         !co_await c->readable.WaitTimeout(deadline - now)) {
       if (!c->established) {  // SYN-ACK may have raced the timer
-        conns_.erase({dst_ip, dst_port, c->local_port});
+        c->peer_closed = true;  // abandoned; see RST comment above
+        c->abandoned = true;
+        c->unacked.clear();
         co_return nullptr;
       }
     }
@@ -284,6 +297,13 @@ Task<> NetStack::HandleTcp(const ParsedFrame& f, const Packet& frame) {
     // New connection? Only if someone listens and this is a SYN.
     auto lit = listeners_.find(tcp.dst_port);
     if (lit == listeners_.end() || !tcp.flags.syn) {
+      if (send_rst_for_unknown_ && !tcp.flags.rst &&
+          fault::Injector::active() != nullptr) {
+        // A mid-flow segment for a connection we never saw: an orphaned flow
+        // re-steered here after its shard died. Reset it so the client can
+        // retry with a fresh SYN against this stack's listener.
+        co_await SendRstForSegment(f);
+      }
       ++drops_no_listener_;
       co_return;
     }
@@ -303,6 +323,28 @@ Task<> NetStack::HandleTcp(const ParsedFrame& f, const Packet& frame) {
     co_return;
   }
   TcpConn& c = *it->second;
+  // A late segment — typically the SYN-ACK a retransmitted SYN provoked —
+  // for a handshake this side already gave up on. Reset it: the peer (often
+  // a survivor that adopted the flow) holds a half-open connection no one
+  // will ever write to, and without the RST it would pin one of the server's
+  // admission workers until the end of the run. Abandonment only happens
+  // under injection (bounded connects give up only after faults delay them),
+  // so plain runs never take this branch.
+  if (c.abandoned && !tcp.flags.rst && fault::Injector::active() != nullptr) {
+    co_await SendRstForSegment(f);
+    co_return;
+  }
+  // RST aborts the connection outright: no more retransmissions (the peer
+  // told us the flow is dead), readers see peer-closed. RSTs only occur under
+  // injection (SetSendRstForUnknown), so plain runs never take this branch.
+  if (tcp.flags.rst) {
+    ++tcp_rsts_received_;
+    c.peer_closed = true;
+    c.unacked.clear();
+    c.readable.Signal();
+    c.closed_ev.Signal();
+    co_return;
+  }
   // ACK processing: advance snd_una and retire acknowledged segments. Pure
   // bookkeeping — no events are scheduled, so lossless runs are unaffected.
   if (tcp.flags.ack) {
@@ -356,6 +398,26 @@ Task<> NetStack::HandleTcp(const ParsedFrame& f, const Packet& frame) {
       (f.payload_len > 0 || tcp.flags.syn || tcp.flags.fin)) {
     co_await SendTcpSegment(c, TcpFlags{.ack = true}, nullptr, 0);
   }
+}
+
+Task<> NetStack::SendRstForSegment(const ParsedFrame& f) {
+  const TcpHeader& tcp = *f.tcp;
+  EthHeader eth;
+  eth.src = mac_;
+  eth.dst = ResolveMac(f.ip.src);
+  IpHeader ip;
+  ip.src = ip_;
+  ip.dst = f.ip.src;
+  ip.ident = ip_ident_++;
+  TcpHeader rst;
+  rst.src_port = tcp.dst_port;
+  rst.dst_port = tcp.src_port;
+  rst.seq = tcp.flags.ack ? tcp.ack : 0;
+  rst.ack = tcp.seq + static_cast<std::uint32_t>(f.payload_len) +
+            (tcp.flags.syn ? 1 : 0) + (tcp.flags.fin ? 1 : 0);
+  rst.flags = TcpFlags{.ack = true, .rst = true};
+  ++tcp_rsts_sent_;
+  co_await Emit(BuildTcpFrame(eth, ip, rst, nullptr, 0), 0);
 }
 
 Task<> NetStack::TcpSend(TcpConn& conn, const std::uint8_t* data, std::size_t len) {

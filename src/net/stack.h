@@ -23,6 +23,7 @@
 
 #include "hw/machine.h"
 #include "net/wire.h"
+#include "recover/config.h"
 #include "sim/event.h"
 #include "sim/task.h"
 #include "sim/types.h"
@@ -40,12 +41,9 @@ struct StackCosts {
   double per_byte_checksum = 0.5;  // no hardware checksum offload
 };
 
-// TCP retransmission tuning (used only while a fault::Injector is installed).
-// The RTO comfortably exceeds the modeled RTT; it doubles per consecutive
-// timeout, and after kTcpMaxRetx unanswered rounds the peer is presumed dead
-// and the connection's timer gives up.
-inline constexpr Cycles kTcpRto = 200'000;
-inline constexpr int kTcpMaxRetx = 8;
+// TCP retransmission tuning (RTO, max retransmit rounds) lives in
+// recover::RecoveryConfig — see src/recover/config.h. It is consulted only
+// while a fault::Injector is installed.
 
 class NetStack {
  public:
@@ -62,6 +60,16 @@ class NetStack {
 
   // Static ARP entry (the evaluation uses a closed set of hosts).
   void AddArp(Ipv4Addr ip, MacAddr mac) { arp_[ip] = mac; }
+
+  // Failover opt-in: answer a mid-flow segment for a connection this stack
+  // has never seen with a RST instead of silently dropping it. A surviving
+  // shard that inherits a dead shard's RSS-re-steered flows uses this to tell
+  // the client its old connection is gone, so the client can retry with a
+  // fresh SYN that the survivor's listener accepts (flow adoption). Off by
+  // default, and only active while a fault::Injector is installed — plain
+  // runs never see re-steered flows, and keeping the path injector-gated
+  // guarantees they schedule no extra sends.
+  void SetSendRstForUnknown(bool on) { send_rst_for_unknown_ = on; }
 
   // Feeds one received frame through the stack (charges processing costs).
   Task<> Input(Packet frame);
@@ -117,6 +125,11 @@ class NetStack {
     std::deque<SentSeg> unacked;
     int dup_acks = 0;
     bool retx_timer_running = false;
+    // Set when a bounded TcpConnect gave up on the handshake. Late segments
+    // for an abandoned connection are answered with RST (under injection):
+    // a retransmitted SYN may have built a half-open connection on a server
+    // that would otherwise pin an admission worker forever.
+    bool abandoned = false;
   };
   class Listener {
    public:
@@ -149,6 +162,8 @@ class NetStack {
   std::uint64_t drops_no_listener() const { return drops_no_listener_; }
   std::uint64_t drops_unknown_proto() const { return drops_unknown_proto_; }
   std::uint64_t tcp_retransmits() const { return tcp_retransmits_; }
+  std::uint64_t tcp_rsts_sent() const { return tcp_rsts_sent_; }
+  std::uint64_t tcp_rsts_received() const { return tcp_rsts_received_; }
 
  private:
   Task<> Emit(Packet frame, std::size_t payload_len);
@@ -162,6 +177,9 @@ class NetStack {
   // Go-back-N recovery loop for one connection; spawned (at most once per
   // connection at a time) only while a fault::Injector is installed.
   Task<> RetransmitTimer(TcpConn& conn);
+  // Answers the segment described by `f` with a RST (used for unknown flows
+  // re-steered onto this stack and for abandoned handshakes).
+  Task<> SendRstForSegment(const ParsedFrame& f);
   MacAddr ResolveMac(Ipv4Addr ip) const;
 
   hw::Machine& machine_;
@@ -185,6 +203,9 @@ class NetStack {
   std::uint64_t drops_no_listener_ = 0;    // no bound socket/listener for the port
   std::uint64_t drops_unknown_proto_ = 0;  // not IPv4 UDP/TCP
   std::uint64_t tcp_retransmits_ = 0;
+  std::uint64_t tcp_rsts_sent_ = 0;
+  std::uint64_t tcp_rsts_received_ = 0;
+  bool send_rst_for_unknown_ = false;
 };
 
 }  // namespace mk::net

@@ -1,0 +1,83 @@
+// Recovery tuning knobs, collected in one place.
+//
+// PR 3 armed the recovery machinery (2PC phase timeouts, heartbeats, URPC
+// receive timeouts, TCP retransmission) with constants scattered across
+// monitor.h and stack.h; tightening a timeout for a test meant editing a
+// header and rebuilding the world. RecoveryConfig gathers them into one
+// documented struct with the historical values as defaults, read at the use
+// sites through Config(), so benches and tests can tighten or relax recovery
+// behaviour at runtime (ScopedRecoveryConfig) without touching headers.
+//
+// All of these are consulted only while a fault::Injector is installed —
+// plain runs wait unboundedly and schedule no timer events, which is what
+// keeps the paper benches byte-identical (see DESIGN.md §8).
+#ifndef MK_RECOVER_CONFIG_H_
+#define MK_RECOVER_CONFIG_H_
+
+#include "sim/types.h"
+
+namespace mk::recover {
+
+struct RecoveryConfig {
+  // --- Monitor agreement (src/monitor) ---
+
+  // How long a 2PC/collective initiator waits for a phase's acks before
+  // presuming abort. Comfortably exceeds the slowest observed collective on
+  // the modeled machines.
+  sim::Cycles phase_timeout = 500'000;
+  // How often non-initiating monitors sweep for dead peers (and how often the
+  // membership service can first observe an exclusion).
+  sim::Cycles heartbeat_period = 50'000;
+  // 2PC conflict-retry budget: rounds of prepare/abort an initiator plays
+  // before reporting kRetriesExhausted.
+  int max_attempts = 12;
+
+  // --- TCP (src/net/stack) ---
+
+  // Initial retransmission timeout; doubles per consecutive unanswered round.
+  sim::Cycles tcp_rto = 200'000;
+  // Unanswered go-back-N rounds before the peer is presumed dead and the
+  // connection's timer gives up.
+  int tcp_max_retx = 8;
+
+  // --- Sharded DB RPC (src/apps/dbshard over net::PacketChannel) ---
+
+  // How long a web shard waits for its replica's reply before presuming the
+  // replica dead and failing over to another live replica. Must exceed the
+  // slowest legitimate query end-to-end (a full 30k-row TPC-W scan costs
+  // ~755k cycles on the replica core alone), or healthy replicas get declared
+  // dead under load.
+  sim::Cycles db_rpc_timeout = 2'000'000;
+  // Replica-failover retry budget: distinct replicas a query will try before
+  // giving up (first attempt included).
+  int db_max_attempts = 3;
+};
+
+// The process-wide current configuration. The simulator is single-threaded;
+// reads at the use sites see whatever the bench or test last installed.
+inline RecoveryConfig& MutableRecoveryConfig() {
+  static RecoveryConfig config;
+  return config;
+}
+
+inline const RecoveryConfig& Config() { return MutableRecoveryConfig(); }
+
+// RAII override: installs `c` for the scope, restores the previous values on
+// destruction. Tests tighten timeouts with this so suites stay fast.
+class ScopedRecoveryConfig {
+ public:
+  explicit ScopedRecoveryConfig(const RecoveryConfig& c)
+      : saved_(MutableRecoveryConfig()) {
+    MutableRecoveryConfig() = c;
+  }
+  ScopedRecoveryConfig(const ScopedRecoveryConfig&) = delete;
+  ScopedRecoveryConfig& operator=(const ScopedRecoveryConfig&) = delete;
+  ~ScopedRecoveryConfig() { MutableRecoveryConfig() = saved_; }
+
+ private:
+  RecoveryConfig saved_;
+};
+
+}  // namespace mk::recover
+
+#endif  // MK_RECOVER_CONFIG_H_

@@ -1,0 +1,80 @@
+#include "recover/recover.h"
+
+#include "trace/trace.h"
+
+namespace mk::recover {
+
+MembershipService::MembershipService(monitor::MonitorSystem& sys) : sys_(sys) {
+  view_.live.resize(static_cast<std::size_t>(sys.num_cores()));
+  for (int c = 0; c < sys.num_cores(); ++c) {
+    view_.live[static_cast<std::size_t>(c)] = sys.IsOnline(c);
+  }
+  sys_.SetExclusionHook([this](int dead_core) { OnExclusion(dead_core); });
+}
+
+MembershipService::~MembershipService() { sys_.SetExclusionHook(nullptr); }
+
+void MembershipService::OnExclusion(int dead_core) {
+  pending_.push_back(dead_core);
+  if (!worker_running_) {
+    worker_running_ = true;
+    sys_.machine().exec().Spawn(Worker());
+  }
+}
+
+sim::Task<> MembershipService::Worker() {
+  while (!pending_.empty()) {
+    int dead = pending_.front();
+    pending_.pop_front();
+    co_await ViewChange(dead);
+  }
+  worker_running_ = false;
+}
+
+sim::Task<> MembershipService::ViewChange(int dead_core) {
+  // The agreement initiator is the lowest live core — a deterministic choice
+  // every survivor computes identically from the post-exclusion liveness map
+  // (the monitor marked `dead_core` offline before the hook fired).
+  int initiator = -1;
+  for (int c = 0; c < sys_.num_cores(); ++c) {
+    if (sys_.IsOnline(c)) {
+      initiator = c;
+      break;
+    }
+  }
+  if (initiator < 0 || !sys_.running()) {
+    co_return;  // nothing left to agree, or the system is shutting down
+  }
+  const std::uint64_t proposed = view_.epoch + 1;
+  sim::Cycles now = sys_.machine().exec().now();
+  trace::Emit<trace::Category::kRecover>(trace::EventId::kRecoverViewPropose, now,
+                                         initiator, proposed,
+                                         static_cast<std::uint64_t>(dead_core));
+  // One agreement round over the survivors, on the same multicast machinery
+  // the monitors use for hotplug view changes. Under injection the round is
+  // phase-timeout protected; a timeout excludes further dead cores (queued
+  // behind this change by the exclusion hook) and the round still counts as
+  // agreement among whoever remains.
+  monitor::OpMsg msg;
+  msg.kind = monitor::OpKind::kPing;
+  msg.proto = monitor::Protocol::kNumaMulticast;
+  msg.source = static_cast<std::uint16_t>(initiator);
+  (void)co_await sys_.on(initiator).RunCollectiveForTest(msg);
+
+  view_.epoch = proposed;
+  for (int c = 0; c < sys_.num_cores(); ++c) {
+    view_.live[static_cast<std::size_t>(c)] = sys_.IsOnline(c);
+  }
+  ++committed_;
+  trace::Emit<trace::Category::kRecover>(
+      trace::EventId::kRecoverViewCommit, sys_.machine().exec().now(), initiator,
+      view_.epoch, static_cast<std::uint64_t>(view_.NumLive()));
+  // Failover actions run in subscription order, on this task: NIC re-steer
+  // first, then flow adoption, then DB re-point/respawn — deterministic and
+  // sequential so replays are bit-identical.
+  for (Subscriber& s : subscribers_) {
+    co_await s(view_, dead_core);
+  }
+}
+
+}  // namespace mk::recover

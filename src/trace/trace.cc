@@ -22,6 +22,7 @@ const char* CategoryName(Category c) {
     case Category::kMonitor: return "monitor";
     case Category::kNet: return "net";
     case Category::kFault: return "fault";
+    case Category::kRecover: return "recover";
     case Category::kNumCategories: break;
   }
   return "?";
@@ -70,6 +71,13 @@ const char* EventName(EventId e) {
     case EventId::kFaultExcludeCore: return "fault_exclude_core";
     case EventId::kFaultTcpRetransmit: return "fault_tcp_retransmit";
     case EventId::kFaultNsEvict: return "fault_ns_evict";
+    case EventId::kRecoverViewPropose: return "recover_view_propose";
+    case EventId::kRecoverViewCommit: return "recover_view_commit";
+    case EventId::kRecoverResteer: return "recover_resteer";
+    case EventId::kRecoverFlowAdopt: return "recover_flow_adopt";
+    case EventId::kRecoverDbRepoint: return "recover_db_repoint";
+    case EventId::kRecoverDbRespawn: return "recover_db_respawn";
+    case EventId::kRecoverShed: return "recover_shed";
     case EventId::kNumEvents: break;
   }
   return "?";

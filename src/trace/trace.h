@@ -55,6 +55,7 @@ enum class Category : std::uint8_t {
   kMonitor,    // collectives, 2PC phases, capability ops
   kNet,        // NIC DMA, interrupts, driver rings
   kFault,      // injected faults and recovery actions (mk::fault)
+  kRecover,    // membership view changes and failover actions (mk::recover)
   kNumCategories,
 };
 
@@ -120,6 +121,13 @@ enum class EventId : std::uint8_t {
   kFaultExcludeCore,    // arg0 = excluded core
   kFaultTcpRetransmit,  // arg0 = seq, arg1 = retransmission number
   kFaultNsEvict,        // arg0 = service id, arg1 = dead owner core
+  kRecoverViewPropose,  // arg0 = proposed epoch, arg1 = dead core
+  kRecoverViewCommit,   // arg0 = committed epoch, arg1 = live-core count
+  kRecoverResteer,      // arg0 = dead queue, arg1 = RETA slots rewritten
+  kRecoverFlowAdopt,    // arg0 = adopting queue, arg1 = flow hash
+  kRecoverDbRepoint,    // arg0 = dead replica shard, arg1 = new replica shard
+  kRecoverDbRespawn,    // arg0 = replaced shard, arg1 = spare db core
+  kRecoverShed,         // arg0 = shed cause (0=queue-full, 1=deadline)
   kNumEvents,
 };
 

@@ -21,6 +21,7 @@
 #include "monitor/monitor.h"
 #include "net/nic.h"
 #include "net/stack.h"
+#include "recover/config.h"
 #include "net/wire.h"
 #include "sim/executor.h"
 #include "skb/skb.h"
@@ -670,7 +671,7 @@ TEST(TwoPcRecovery, HeartbeatDetectsHaltWithoutAnInitiator) {
   MonitorFixture f;
   f.exec.Spawn([](MonitorFixture& fx) -> Task<> {
     // Nobody initiates anything; only the heartbeat sweep is running.
-    co_await fx.exec.Delay(monitor::kHeartbeatPeriod * 3);
+    co_await fx.exec.Delay(recover::Config().heartbeat_period * 3);
     EXPECT_TRUE(fx.sys.CoreFailed(13));
     EXPECT_FALSE(fx.sys.IsOnline(13));
     fx.sys.Shutdown();
@@ -778,6 +779,78 @@ TEST(NameServiceFaults, DeadCoreRegistrationsAreEvictedLazily) {
       EXPECT_EQ(remaining[0].core, 5);
     }
     EXPECT_EQ(svc.size(), 1u);
+  }(m, ns, props));
+  exec.Run();
+}
+
+TEST(NameServiceFaults, ExplicitEvictionCountsRemovalsAndIsIdempotent) {
+  sim::Executor exec;
+  hw::Machine m(exec, hw::Amd8x4());
+  idc::NameService ns(m);
+  std::map<std::string, std::string> props{{"kind", "service"}};
+  exec.Spawn([](idc::NameService& svc,
+                const std::map<std::string, std::string>& p) -> Task<> {
+    (void)co_await svc.Register(2, "fs", p);
+    (void)co_await svc.Register(2, "blk", p);
+    (void)co_await svc.Register(2, "pci", p);
+    (void)co_await svc.Register(5, "net", p);
+    // Everything core 2 owned goes in one sweep; core 5's survives.
+    EXPECT_EQ(svc.EvictCore(2), 3u);
+    EXPECT_EQ(svc.size(), 1u);
+    EXPECT_TRUE((co_await svc.Lookup(1, "net")).has_value());
+    EXPECT_FALSE((co_await svc.Lookup(1, "fs")).has_value());
+    // Evicting again — or evicting a core that never registered — is a no-op.
+    EXPECT_EQ(svc.EvictCore(2), 0u);
+    EXPECT_EQ(svc.EvictCore(7), 0u);
+    EXPECT_EQ(svc.size(), 1u);
+  }(ns, props));
+  exec.Run();
+}
+
+TEST(NameServiceFaults, ReRegistrationAfterEvictionGetsAFreshIdentity) {
+  sim::Executor exec;
+  hw::Machine m(exec, hw::Amd8x4());
+  idc::NameService ns(m);
+  std::map<std::string, std::string> props{{"kind", "service"}};
+  exec.Spawn([](idc::NameService& svc,
+                const std::map<std::string, std::string>& p) -> Task<> {
+    idc::ServiceRef old_ref = co_await svc.Register(2, "fs", p);
+    EXPECT_EQ(svc.EvictCore(2), 1u);
+    // The evicted id is dead, not recyclable: unregistering it fails.
+    EXPECT_FALSE(co_await svc.Unregister(5, old_ref.id));
+    // A successor (the respawned service on another core) takes the name over
+    // with a fresh id; lookups resolve to it, never to the dead owner.
+    idc::ServiceRef new_ref = co_await svc.Register(5, "fs", p);
+    EXPECT_NE(new_ref.id, old_ref.id);
+    EXPECT_EQ(new_ref.core, 5);
+    auto found = co_await svc.Lookup(1, "fs");
+    EXPECT_TRUE(found.has_value());
+    if (found.has_value()) {
+      EXPECT_EQ(found->core, 5);
+      EXPECT_EQ(found->id, new_ref.id);
+    }
+  }(ns, props));
+  exec.Run();
+}
+
+TEST(NameServiceFaults, QueryWhereEveryMatchIsDeadEvictsAllAndReturnsEmpty) {
+  sim::Executor exec;
+  hw::Machine m(exec, hw::Amd8x4());
+  fault::FaultPlan plan;
+  plan.HaltCore(2, /*at=*/50'000);
+  plan.HaltCore(5, /*at=*/50'000);
+  ScopedInjector s(plan);
+  idc::NameService ns(m);
+  std::map<std::string, std::string> props{{"kind", "service"}};
+  exec.Spawn([](hw::Machine& mm, idc::NameService& svc,
+                const std::map<std::string, std::string>& p) -> Task<> {
+    (void)co_await svc.Register(2, "fs", p);
+    (void)co_await svc.Register(5, "net", p);
+    co_await mm.exec().Delay(60'000);  // past both halts
+    // A query whose entire result set is owned by dead cores evicts the lot
+    // mid-iteration and returns empty, without touching freed entries.
+    EXPECT_TRUE((co_await svc.Query(1, "kind", "service")).empty());
+    EXPECT_EQ(svc.size(), 0u);
   }(m, ns, props));
   exec.Run();
 }
