@@ -107,6 +107,7 @@ double RouteOrder(const char* mode) {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bench::PrintHeader("Ablation: URPC pipelining window (8x4 AMD, one-hop pair)");
   bench::SeriesTable window("slots");
   window.AddSeries("posted msgs/kcycle");

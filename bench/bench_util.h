@@ -57,6 +57,34 @@ inline TraceFlags ParseTraceFlags(int& argc, char** argv) {
   return flags;
 }
 
+// Consumes --threads=<n> from argv (compacting it). Every paper bench
+// accepts the flag so the golden gate can be re-run at any host thread
+// count; the paper benches simulate one machine — a single engine domain —
+// whose schedule is host-thread-invariant by construction, so the flag
+// cannot change their output (that invariance is exactly what the gate
+// verifies). Multi-domain benches (par_speedup) use the value to size the
+// worker pool. Exits with a usage message on a malformed value.
+inline int ParseThreadsFlag(int& argc, char** argv, int def = 1) {
+  int threads = def;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      char* end = nullptr;
+      const long v = std::strtol(arg + 10, &end, 10);
+      if (end == arg + 10 || *end != '\0' || v < 1 || v > 1024) {
+        std::fprintf(stderr, "bad --threads value '%s' (want 1..1024)\n", arg + 10);
+        std::exit(2);
+      }
+      threads = static_cast<int>(v);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return threads;
+}
+
 // RAII trace scope for a bench run. Inactive (and free) when no --trace flag
 // was given.
 class TraceSession {

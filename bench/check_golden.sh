@@ -12,10 +12,20 @@
 #
 # BUILD_DIR selects the build tree (default: build). Binaries must already be
 # built; this script never compiles.
+#
+# THREADS=<n> appends --threads=<n> to every bench invocation. The goldens
+# are recorded at one host thread; re-running the gate with THREADS=4 proves
+# the parallel engine's promise that host thread count never changes a
+# schedule (sim/parallel.h). Goldens are never updated at THREADS != 1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 GOLDEN_DIR=bench/golden
+THREADS="${THREADS:-1}"
+extra_args=()
+if [[ "$THREADS" != "1" ]]; then
+  extra_args+=("--threads=$THREADS")
+fi
 
 BENCHES=(
   table1_lrpc
@@ -49,6 +59,10 @@ for b in "${BENCHES[@]}"; do
     exit 2
   fi
   if [[ $update == 1 ]]; then
+    if [[ "$THREADS" != "1" ]]; then
+      echo "check_golden: refusing --update with THREADS=$THREADS (goldens are recorded at 1 thread)" >&2
+      exit 2
+    fi
     "$bin" > "$GOLDEN_DIR/$b.txt"
     echo "updated: $b"
     continue
@@ -58,7 +72,7 @@ for b in "${BENCHES[@]}"; do
     fail=1
     continue
   fi
-  if diff -u "$GOLDEN_DIR/$b.txt" <("$bin") > /tmp/golden_diff_$b; then
+  if diff -u "$GOLDEN_DIR/$b.txt" <("$bin" ${extra_args[@]+"${extra_args[@]}"}) > /tmp/golden_diff_$b; then
     echo "ok: $b"
   else
     echo "GOLDEN MISMATCH: $b" >&2

@@ -133,6 +133,7 @@ std::pair<double, double> RunMsg(int cores, int lines) {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bench::PrintHeader(
       "Figure 3: shared-memory vs message-passing update cost (4x4-core AMD, cycles/op)");
   bench::SeriesTable table("cores");

@@ -146,6 +146,7 @@ void TraceIpiWakeups(bench::TraceSession& session) {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceFlags trace_flags = bench::ParseTraceFlags(argc, argv);
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bench::TraceSession session(trace_flags);
   if (session.active()) {
     bench::PrintHeader("Figure 6 (traced): TLB shootdown waves at 32 cores");

@@ -103,6 +103,7 @@ double MeasureIpi(baseline::IpiShootdown::Flavor flavor, int ncores) {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bench::PrintHeader("Figure 7: end-to-end unmap latency (8x4-core AMD, cycles)");
   bench::SeriesTable table("cores");
   table.AddSeries("Windows");

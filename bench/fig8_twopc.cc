@@ -186,6 +186,7 @@ int RunKillCoreMode(bench::TraceSession& session) {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceFlags trace_flags = bench::ParseTraceFlags(argc, argv);
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bool kill_core = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--kill-core") == 0) {

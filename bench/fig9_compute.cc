@@ -62,6 +62,7 @@ double Measure(const apps::WorkloadEntry& w, int threads, SyncFlavor flavor) {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bench::PrintHeader(
       "Figure 9: compute-bound workloads (4x4-core AMD, total cycles; lower is better)");
   for (const auto& w : apps::AllWorkloads()) {

@@ -73,6 +73,7 @@ Task<> BlockingReceiver(hw::Machine& m, urpc::Channel& ch, CpuDriver& local, Cpu
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   sim::Executor probe_exec;
   hw::Machine probe(probe_exec, hw::Amd8x4());
   const Cycles kC = probe.cost().trap + probe.cost().context_switch + probe.cost().dispatch +

@@ -6,8 +6,19 @@
 #
 #   bench/run_all.sh              # full transcript into bench_output.txt
 #   SKIP_MICROBENCH=1 bench/run_all.sh   # deterministic part only
+#   bench/run_all.sh --threads=4  # transcript, then re-run the golden gate
+#                                 # at 4 host threads: every bench must match
+#                                 # its 1-thread golden byte-for-byte
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+THREADS_PASS=""
+for arg in "$@"; do
+  case "$arg" in
+    --threads=*) THREADS_PASS="${arg#--threads=}" ;;
+    *) echo "run_all.sh: unknown argument $arg" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j
@@ -43,3 +54,11 @@ if [[ "${SKIP_MICROBENCH:-0}" != "1" ]]; then
 fi
 
 echo "transcript written to $OUT"
+
+# --threads=N pass: the parallel engine promises that host thread count can
+# never change a schedule. Prove it by re-running every golden bench with
+# --threads=N and byte-diffing against the 1-thread goldens.
+if [[ -n "$THREADS_PASS" ]]; then
+  echo "--- golden gate at --threads=$THREADS_PASS (vs 1-thread goldens)"
+  THREADS="$THREADS_PASS" bench/check_golden.sh
+fi

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds and runs the parallel-engine speedup sweep (bench/par_speedup.cc),
+# writing BENCH_parallel.json at the repo root and the human-readable table
+# to stdout. The sweep runs the two multi-domain workloads at 1/2/4/8 host
+# threads and fails if any thread count produces a schedule that is not
+# bit-identical to the 1-thread run.
+#
+# Speedup is bounded by the host's core count (recorded as host_cores in the
+# JSON): on a single-core machine every thread count measures the same
+# sequential schedule plus barrier overhead.
+#
+# Extra arguments pass through to the binary, e.g.:
+#   bench/run_parallel.sh --quick
+#   bench/run_parallel.sh --domains=16
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j --target par_speedup
+
+./build/bench/par_speedup --json=BENCH_parallel.json "$@"

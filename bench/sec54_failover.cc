@@ -909,6 +909,7 @@ int RunChaos(bench::TraceSession& session, bool quick, std::uint64_t seed) {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceFlags trace_flags = bench::ParseTraceFlags(argc, argv);
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bench::TraceSession session(trace_flags);
   bool quick = false;
   bool kill = false;

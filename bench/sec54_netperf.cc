@@ -152,6 +152,7 @@ double RunEcho(double offered_mbps) {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bench::PrintHeader(
       "Section 5.4: UDP echo throughput over e1000 (2x4-core Intel, 1000-byte payloads)");
   bench::SeriesTable table("offered Mb/s");

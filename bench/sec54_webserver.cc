@@ -209,6 +209,7 @@ double RunScenario(Scenario sc) {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bench::PrintHeader("Section 5.4: web server and relational database (2x2-core AMD)");
   double bf_static = RunScenario({false, false});
   double lx_static = RunScenario({true, false});

@@ -33,6 +33,7 @@ Task<> Caller(sim::Executor& exec, CpuDriver& drv, kernel::EndpointId ep, int it
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bench::PrintHeader("Table 1: LRPC one-way latency");
   std::printf("%-20s %10s %6s %8s   %s\n", "System", "cycles", "(sd)", "ns", "paper");
   struct Row {

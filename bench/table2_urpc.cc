@@ -95,6 +95,7 @@ struct Row {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   // Receiver cores chosen per platform so the pair has the row's cache
   // relationship (see hw/platform.cc topologies).
   std::vector<Row> rows = {

@@ -59,6 +59,7 @@ Task<> L4Stream(baseline::L4Ipc& ipc, int n) {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bench::PrintHeader("Table 3: messaging costs on 2x2-core AMD");
 
   // URPC latency: same-die pair (cores 0 and 1), warmed channel.

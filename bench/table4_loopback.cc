@@ -131,6 +131,7 @@ Results RunLinux() {
 int main(int argc, char** argv) {
   using namespace mk;
   bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
   bench::PrintHeader("Table 4: IP loopback on 2x2-core AMD (1000-byte UDP payloads)");
   Results bf = RunBarrelfish();
   Results lx = RunLinux();

@@ -122,7 +122,6 @@ FaultPlan& FaultPlan::LinkSpike(sim::Cycles extra, sim::Cycles at, sim::Cycles u
 }
 
 Injector::Injector(const FaultPlan& plan) {
-  specs_.reserve(plan.specs().size());
   for (const FaultSpec& s : plan.specs()) {
     specs_.emplace_back(s);
   }
@@ -158,7 +157,7 @@ bool Armed(const FaultSpec& s, sim::Cycles now) {
 bool Injector::CoreHalted(int core, sim::Cycles now) const {
   for (const SpecState& st : specs_) {
     if (st.spec.kind == FaultKind::kCoreHalt && st.spec.a == core && now >= st.spec.at) {
-      ++st.activations;
+      st.activations.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -175,6 +174,7 @@ bool Injector::AnyHaltPlanned() const {
 }
 
 Injector::SpecState* Injector::Consume(FaultKind kind, sim::Cycles now, int a, int b) {
+  const auto dom = static_cast<std::size_t>(sim::CurrentDomain());
   for (SpecState& st : specs_) {
     const FaultSpec& s = st.spec;
     if (s.kind != kind || !Armed(s, now)) {
@@ -183,18 +183,20 @@ Injector::SpecState* Injector::Consume(FaultKind kind, sim::Cycles now, int a, i
     if (!EndpointMatches(s.a, a) || !EndpointMatches(s.b, b)) {
       continue;
     }
-    if (s.count != kUnlimited && st.fired >= s.count) {
+    if (s.count != kUnlimited && st.fired[dom] >= s.count) {
       continue;
     }
     // The probability draw happens per candidate the spec considers, so a
     // lossy-link spec consumes exactly one variate per matching frame —
-    // deterministic regardless of what other specs do.
-    if (s.probability < 1.0 && !st.rng.Chance(s.probability)) {
+    // deterministic regardless of what other specs do. Counter and stream
+    // are the calling domain's own, so concurrent domains neither race nor
+    // perturb each other's sequences.
+    if (s.probability < 1.0 && !st.rng[dom].Chance(s.probability)) {
       continue;
     }
-    ++st.fired;
-    ++st.activations;
-    ++injected_[static_cast<std::size_t>(kind)];
+    ++st.fired[dom];
+    st.activations.fetch_add(1, std::memory_order_relaxed);
+    injected_[static_cast<std::size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
     return &st;
   }
   return nullptr;
@@ -225,7 +227,7 @@ sim::Cycles Injector::LinkExtra(sim::Cycles now) const {
   sim::Cycles extra = 0;
   for (const SpecState& st : specs_) {
     if (st.spec.kind == FaultKind::kLinkDelay && Armed(st.spec, now)) {
-      ++st.activations;
+      st.activations.fetch_add(1, std::memory_order_relaxed);
       extra += st.spec.extra;
     }
   }
@@ -234,7 +236,7 @@ sim::Cycles Injector::LinkExtra(sim::Cycles now) const {
 
 bool Injector::AllSpecsActivated() const {
   for (const SpecState& st : specs_) {
-    if (st.activations == 0) {
+    if (st.activations.load(std::memory_order_relaxed) == 0) {
       return false;
     }
   }
@@ -260,11 +262,11 @@ void Injector::PrintActivationTable(std::FILE* out) const {
     } else {
       std::snprintf(cap, sizeof cap, "%d", s.count);
     }
+    const std::uint64_t acts = specs_[i].activations.load(std::memory_order_relaxed);
     std::fprintf(out, "  %3zu %-14s %12llu %12s %4d %4d %5s %12llu%s\n", i,
                  FaultKindName(s.kind), static_cast<unsigned long long>(s.at),
-                 until, s.a, s.b, cap,
-                 static_cast<unsigned long long>(specs_[i].activations),
-                 specs_[i].activations == 0 ? "  <-- never fired" : "");
+                 until, s.a, s.b, cap, static_cast<unsigned long long>(acts),
+                 acts == 0 ? "  <-- never fired" : "");
   }
 }
 

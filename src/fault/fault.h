@@ -9,10 +9,15 @@
 //
 // Two properties mirror mk::trace:
 //
-//   * deterministic — the simulator is single-threaded and every
-//     probabilistic fault draws from a per-spec sim::Rng stream, so the same
-//     plan and seeds produce a bit-identical run (pinned by
-//     tests/determinism_test.cc);
+//   * deterministic — every probabilistic fault draws from a per-(spec,
+//     domain) sim::Rng stream keyed by sim::DeriveStreamSeed, so the same
+//     plan and seeds produce a bit-identical run at any host thread count:
+//     a domain's draws depend only on its own injection sequence, never on
+//     what other domains consume or on host scheduling (pinned by
+//     tests/determinism_test.cc). Under the parallel engine the firing cap
+//     and stream apply independently per domain — each domain's world sees
+//     the plan as its own; plain single-executor runs are domain 0 and
+//     behave exactly as before;
 //   * zero-cost when absent — with no Injector installed every injection
 //     point is one null-pointer test, schedules no events, and charges no
 //     cycles, so the paper benches stay byte-identical (recovery machinery
@@ -29,11 +34,14 @@
 #define MK_FAULT_FAULT_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <limits>
 #include <vector>
 
+#include "sim/domain.h"
 #include "sim/random.h"
 #include "sim/types.h"
 
@@ -146,10 +154,10 @@ class Injector {
   // Non-consuming (interval-armed, unlimited): extra cross-package latency.
   sim::Cycles LinkExtra(sim::Cycles now) const;
 
-  // Total injections performed per kind (kCoreHalt/kLinkDelay are interval
-  // predicates and stay zero here).
+  // Total injections performed per kind, summed across domains
+  // (kCoreHalt/kLinkDelay are interval predicates and stay zero here).
   std::uint64_t injected(FaultKind k) const {
-    return injected_[static_cast<std::size_t>(k)];
+    return injected_[static_cast<std::size_t>(k)].load(std::memory_order_relaxed);
   }
 
   // --- Per-spec coverage accounting ---
@@ -161,7 +169,9 @@ class Injector {
   // benches treat as an error (see fig8_twopc --kill-core).
   std::size_t num_specs() const { return specs_.size(); }
   const FaultSpec& spec(std::size_t i) const { return specs_[i].spec; }
-  std::uint64_t activations(std::size_t i) const { return specs_[i].activations; }
+  std::uint64_t activations(std::size_t i) const {
+    return specs_[i].activations.load(std::memory_order_relaxed);
+  }
   bool AllSpecsActivated() const;
   // Prints one row per spec: kind, window, endpoints, cap, activations.
   void PrintActivationTable(std::FILE* out = stdout) const;
@@ -169,20 +179,32 @@ class Injector {
  private:
   struct SpecState {
     FaultSpec spec;
-    int fired = 0;
-    // Mutable: the const interval predicates (CoreHalted, LinkExtra) record
-    // coverage without giving up their pure-query signatures.
-    mutable std::uint64_t activations = 0;
-    sim::Rng rng;
-    explicit SpecState(const FaultSpec& s) : spec(s), rng(s.seed) {}
+    // Firing count and probability stream are per engine domain: each
+    // domain's injection sites only ever touch index sim::CurrentDomain(),
+    // so there is no sharing between host threads, and a domain's draw
+    // sequence depends only on its own consultations. Stream d is seeded by
+    // DeriveStreamSeed(spec.seed, d) — domain 0 keeps spec.seed exactly, so
+    // single-executor runs are untouched.
+    std::array<int, sim::kMaxDomains> fired{};
+    std::array<sim::Rng, sim::kMaxDomains> rng;
+    // Mutable + relaxed atomic: the const interval predicates (CoreHalted,
+    // LinkExtra) record coverage from any domain's thread without giving up
+    // their pure-query signatures.
+    mutable std::atomic<std::uint64_t> activations{0};
+    explicit SpecState(const FaultSpec& s) : spec(s) {
+      for (int d = 0; d < sim::kMaxDomains; ++d) {
+        rng[static_cast<std::size_t>(d)].Seed(sim::DeriveStreamSeed(s.seed, d));
+      }
+    }
   };
 
   // Finds the first armed, matching, non-exhausted spec of `kind` and — if
-  // its probability draw passes — consumes one firing from it.
+  // its probability draw passes — consumes one firing from it (in the
+  // calling domain's counter/stream).
   SpecState* Consume(FaultKind kind, sim::Cycles now, int a, int b);
 
-  std::vector<SpecState> specs_;
-  std::array<std::uint64_t, kNumKinds> injected_{};
+  std::deque<SpecState> specs_;  // deque: SpecState is not movable (atomic member)
+  std::array<std::atomic<std::uint64_t>, kNumKinds> injected_{};
   bool installed_ = false;
 };
 

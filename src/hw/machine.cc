@@ -1,8 +1,18 @@
 #include "hw/machine.h"
 
+#include <atomic>
+
 #include "fault/fault.h"
 
 namespace mk::hw {
+namespace {
+
+// Machines are constructed in setup code (before any engine run), so this is
+// deterministic program order; atomic only so a stray runtime construction
+// cannot tear. Ids feed Machine::NextChannelSerial's flow namespace.
+std::atomic<int> g_next_machine_id{0};
+
+}  // namespace
 
 sim::Task<> IpiFabric::Send(int from, int to, int vector, std::uint64_t payload) {
   ++counters_.core(from).ipis_sent;
@@ -56,6 +66,7 @@ sim::Task<> IpiFabric::Send(int from, int to, int vector, std::uint64_t payload)
 
 Machine::Machine(sim::Executor& exec, PlatformSpec spec)
     : exec_(exec),
+      machine_id_(g_next_machine_id.fetch_add(1, std::memory_order_relaxed)),
       spec_(std::move(spec)),
       topo_(spec_),
       counters_(topo_.num_cores(), topo_.num_packages()),

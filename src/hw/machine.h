@@ -79,8 +79,22 @@ class Machine {
   // Charges a system-call round trip on `core`.
   sim::Task<> Syscall(int core);
 
+  // Hands out trace-flow serials for URPC channels built on this machine.
+  // Serials are observer-only (they namespace flow ids, never the schedule)
+  // and scoped to the machine rather than a process-wide counter, so under
+  // the parallel engine channel construction in one domain neither races
+  // with nor renumbers channels in another. The machine id (assigned at
+  // construction, setup-time deterministic) keeps flows from colliding
+  // across machines in one trace.
+  std::uint64_t NextChannelSerial() {
+    return (static_cast<std::uint64_t>(machine_id_) << 20) | ++channel_serial_;
+  }
+  int machine_id() const { return machine_id_; }
+
  private:
   sim::Executor& exec_;
+  int machine_id_;
+  std::uint64_t channel_serial_ = 0;
   PlatformSpec spec_;
   Topology topo_;
   PerfCounters counters_;

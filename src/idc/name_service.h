@@ -4,6 +4,14 @@
 // The registry is itself a service hosted on one core; registrations and
 // lookups from other cores are charged as message round trips to that core
 // (the registry's lines move through the coherence model).
+//
+// Domain affinity (sim/parallel.h): a NameService, the services it names,
+// and every client calling Register/Lookup must all live in one engine
+// domain — they share the registry machine's coherent memory synchronously.
+// Locating a service in another domain is a distributed-systems problem,
+// not a lookup: it goes over the network (net::CrossWire) to that domain's
+// own registry, exactly as the paper's multikernel treats inter-machine
+// name resolution.
 #ifndef MK_IDC_NAME_SERVICE_H_
 #define MK_IDC_NAME_SERVICE_H_
 

@@ -1,0 +1,56 @@
+#include "net/crosswire.h"
+
+#include <utility>
+
+namespace mk::net {
+
+CrossWire::CrossWire(sim::ParallelEngine& engine, int domain_a, SimNic& nic_a,
+                     int domain_b, SimNic& nic_b, sim::Cycles latency)
+    : engine_(engine),
+      latency_(latency),
+      ab_{domain_a, domain_b, &nic_a, &nic_b},
+      ba_{domain_b, domain_a, &nic_b, &nic_a} {
+  engine_.Link(domain_a, domain_b, latency);
+  engine_.Link(domain_b, domain_a, latency);
+}
+
+void CrossWire::Start() {
+  engine_.domain(ab_.src_domain).Spawn(Pump(ab_));
+  engine_.domain(ba_.src_domain).Spawn(Pump(ba_));
+}
+
+void CrossWire::Stop() {
+  ab_.stop = true;
+  ba_.stop = true;
+  // Wakes a pump blocked on wire_out_ready; each Signal must run in its
+  // NIC's own domain, so route through the setup path only when idle.
+  ab_.src->wire_out_ready().Signal();
+  ba_.src->wire_out_ready().Signal();
+}
+
+sim::Task<> CrossWire::Pump(Direction& dir) {
+  sim::Executor* dst_exec = &engine_.domain(dir.dst_domain);
+  for (;;) {
+    Packet p;
+    while (dir.src->WirePop(&p)) {
+      ++dir.forwarded;
+      // The posted callback runs on the destination's owning thread at
+      // src.now() + latency; only then does the frame enter the
+      // destination's world (paced, RSS-steered, DMA'd by its own NIC).
+      auto deliver = [dst = dir.dst, dst_exec, frame = std::move(p)]() mutable {
+        dst_exec->Spawn(dst->InjectFromWire(std::move(frame)));
+      };
+      static_assert(sizeof(deliver) <= sim::InlineCallback::kInlineBytes);
+      engine_.Send(dir.src_domain, dir.dst_domain, std::move(deliver));
+    }
+    if (dir.stop) {
+      co_return;
+    }
+    co_await dir.src->wire_out_ready().Wait();
+    if (dir.stop) {
+      co_return;
+    }
+  }
+}
+
+}  // namespace mk::net

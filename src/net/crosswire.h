@@ -1,0 +1,71 @@
+// CrossWire: a network link between SimNics in different engine domains.
+//
+// Inside one domain, NICs are bridged by pump tasks that WirePop frames and
+// InjectFromWire them into the peer (see bench/sec54_scaleout.cc) — direct
+// calls, legal because everything shares one executor. Across parallel-engine
+// domains a direct call would be a cross-thread push into a foreign event
+// queue; CrossWire is the same pump shape routed through
+// sim::ParallelEngine::Post instead.
+//
+// The wire latency doubles as the engine link latency, which is exactly the
+// conservative-lookahead contract: a frame popped at time u in the source
+// domain reaches the destination NIC at u + latency, never earlier, so the
+// engine may run both domains `latency` cycles apart without coordination.
+// Frame delivery order per direction is FIFO (single pump, FIFO mailbox
+// drain), and the engine's fixed drain order makes the merged schedule
+// independent of host thread count.
+#ifndef MK_NET_CROSSWIRE_H_
+#define MK_NET_CROSSWIRE_H_
+
+#include <cstdint>
+
+#include "net/nic.h"
+#include "sim/parallel.h"
+
+namespace mk::net {
+
+class CrossWire {
+ public:
+  // Bridges `nic_a` (living in engine domain `domain_a`) and `nic_b` (in
+  // `domain_b`), full duplex, `latency` simulated cycles each way. Each NIC
+  // must have been built on the executor of its stated domain. Registers
+  // both directed engine links; call Start() before ParallelEngine::Run().
+  CrossWire(sim::ParallelEngine& engine, int domain_a, SimNic& nic_a, int domain_b,
+            SimNic& nic_b, sim::Cycles latency);
+  CrossWire(const CrossWire&) = delete;
+  CrossWire& operator=(const CrossWire&) = delete;
+
+  // Spawns the two pump tasks (one per direction, each in its source
+  // domain). Frames already sitting in a TX wire queue are forwarded
+  // immediately.
+  void Start();
+
+  // Asks both pumps to exit at their next wake-up and wakes them. Pending
+  // wire frames stop being forwarded; already-posted frames still arrive.
+  void Stop();
+
+  sim::Cycles latency() const { return latency_; }
+  std::uint64_t forwarded_ab() const { return ab_.forwarded; }
+  std::uint64_t forwarded_ba() const { return ba_.forwarded; }
+
+ private:
+  struct Direction {
+    int src_domain;
+    int dst_domain;
+    SimNic* src;
+    SimNic* dst;
+    std::uint64_t forwarded = 0;
+    bool stop = false;
+  };
+
+  sim::Task<> Pump(Direction& dir);
+
+  sim::ParallelEngine& engine_;
+  sim::Cycles latency_;
+  Direction ab_;
+  Direction ba_;
+};
+
+}  // namespace mk::net
+
+#endif  // MK_NET_CROSSWIRE_H_

@@ -65,6 +65,44 @@ Cycles Executor::NextNearCycle() const {
   }
 }
 
+bool Executor::NextEventTime(Cycles* out) const {
+  // The hot slot implies an otherwise-empty queue, but stay general: the
+  // answer is the min over whichever tiers hold events.
+  bool have = false;
+  Cycles best = 0;
+  if (hot_full_) {
+    best = hot_at_;
+    have = true;
+  }
+  if (near_count_ > 0) {
+    const Cycles c = NextNearCycle();
+    if (!have || c < best) {
+      best = c;
+    }
+    have = true;
+  }
+  if (!far_.empty()) {
+    const Cycles c = far_.front().at;
+    if (!have || c < best) {
+      best = c;
+    }
+    have = true;
+  }
+  if (have) {
+    *out = best;
+  }
+  return have;
+}
+
+void Executor::AbortCrossThreadPush() const {
+  std::fprintf(stderr,
+               "fatal: cross-thread push into domain %d's event queue — a "
+               "component is shared between engine domains (route it through "
+               "ParallelEngine::Post instead)\n",
+               domain_);
+  std::abort();
+}
+
 Executor::Node* Executor::RefillFreelist() {
   // Default-init (not value-init): node callbacks construct empty, the rest
   // of each node's 80 bytes stays untouched until first use.

@@ -33,6 +33,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "sim/inline_callback.h"
@@ -41,6 +42,8 @@
 #include "trace/trace.h"
 
 namespace mk::sim {
+
+class ParallelEngine;
 
 class Executor {
  public:
@@ -111,6 +114,33 @@ class Executor {
     return near_count_ + far_.size() + (hot_full_ ? 1 : 0);
   }
 
+  // Earliest pending event's timestamp across all tiers; false when drained.
+  // Used by the parallel engine to plan the next epoch window.
+  bool NextEventTime(Cycles* out) const;
+
+  // --- Parallel-engine binding (sim/parallel.h) ---
+  //
+  // A plain Executor is one engine *domain* when owned by a ParallelEngine;
+  // standalone executors stay domain 0 with no engine. The binding is
+  // observer state: it never changes the event schedule.
+  int domain() const { return domain_; }
+  ParallelEngine* engine() const { return engine_; }
+  void BindEngine(ParallelEngine* engine, int domain) {
+    engine_ = engine;
+    domain_ = domain;
+  }
+
+  // While enforced, every push must come from `owner` — the host thread the
+  // engine assigned this domain to. A push from any other thread is a
+  // partitioning bug (two domains sharing mutable state), and under real
+  // parallelism it would be a data race; abort loudly instead of corrupting
+  // the queue. Enforcement is off (one branch on a cold bool) for
+  // single-threaded runs, so the hot path is unchanged.
+  void SetOwnerThread(std::thread::id owner, bool enforce) {
+    owner_ = owner;
+    enforce_owner_ = enforce;
+  }
+
  private:
   static constexpr Cycles kWindowMask = kNearWindow - 1;
   static constexpr std::size_t kBitmapWords = kNearWindow / 64;
@@ -148,6 +178,7 @@ class Executor {
   // (first, preserving its earlier insertion order) before enqueueing the
   // newcomer. Invariant: hot_full_ implies near_count_ == 0 && far_.empty().
   void PushHandle(Cycles t, std::coroutine_handle<> h) {
+    CheckOwner();
     if (t < now_) {
       t = now_;
     }
@@ -171,6 +202,7 @@ class Executor {
   }
 
   void Push(Cycles t, InlineCallback cb) {
+    CheckOwner();
     if (t < now_) {
       t = now_;
     }
@@ -283,7 +315,18 @@ class Executor {
   // to it mid-dispatch (Yield and other same-cycle scheduling).
   void DispatchCycle();
 
+  void CheckOwner() const {
+    if (enforce_owner_ && std::this_thread::get_id() != owner_) {
+      AbortCrossThreadPush();
+    }
+  }
+  [[noreturn]] void AbortCrossThreadPush() const;
+
   Cycles now_ = 0;
+  int domain_ = 0;                     // engine domain id; 0 standalone
+  ParallelEngine* engine_ = nullptr;   // owning engine, if any
+  bool enforce_owner_ = false;         // multi-threaded engine runs only
+  std::thread::id owner_;
   std::uint64_t next_seq_ = 0;  // orders far-heap ties; near ties are FIFO by append
   std::uint64_t events_dispatched_ = 0;
   std::size_t live_tasks_ = 0;

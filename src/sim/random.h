@@ -2,12 +2,22 @@
 //
 // xoshiro256** seeded via SplitMix64; independent streams per component keep
 // experiments reproducible regardless of event interleaving.
+//
+// Stream-handout rule: a stream's seed must be a pure function of *what the
+// stream is for* — (base seed, domain, purpose) — never of when it was
+// created. A creation-order counter would silently entangle every consumer:
+// reordering two Rng constructions (or running domains on different host
+// threads) would reshuffle all downstream draws. DeriveStreamSeed and
+// StreamPool encode the keyed scheme; tests/random_stream_test.cc pins the
+// order-independence property.
 #ifndef MK_SIM_RANDOM_H_
 #define MK_SIM_RANDOM_H_
 
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <map>
+#include <utility>
 
 namespace mk::sim {
 
@@ -67,6 +77,52 @@ class Rng {
   static std::uint64_t Rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
 
   std::array<std::uint64_t, 4> state_{};
+};
+
+// Derives an independent stream seed from (base, domain, purpose) — a pure
+// function of the key, with no hidden state, so two streams with the same
+// key always see the same draws no matter which was created first or which
+// host thread asks. Domain 0 / purpose 0 yields `base` unchanged, keeping
+// every pre-parallel-engine seeding byte-identical.
+inline std::uint64_t DeriveStreamSeed(std::uint64_t base, int domain,
+                                      std::uint64_t purpose = 0) {
+  if (domain == 0 && purpose == 0) {
+    return base;
+  }
+  // SplitMix64 finalizer over the packed key: cheap, and one bit of key
+  // change avalanches the whole seed (adjacent domains get unrelated
+  // streams rather than shifted copies).
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(domain) + 1) +
+                    0xbf58476d1ce4e5b9ULL * (purpose + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Keyed stream registry: hands out one Rng per (domain, purpose), created
+// lazily on first request but seeded purely from the key. Request order,
+// interleaving, and host-thread placement cannot change any stream's
+// sequence. Not itself thread-safe — give each domain its own pool, or use
+// it from setup code only.
+class StreamPool {
+ public:
+  explicit StreamPool(std::uint64_t base_seed) : base_(base_seed) {}
+
+  Rng& Get(int domain, std::uint64_t purpose = 0) {
+    const auto key = std::make_pair(domain, purpose);
+    auto it = streams_.find(key);
+    if (it == streams_.end()) {
+      it = streams_.emplace(key, Rng(DeriveStreamSeed(base_, domain, purpose))).first;
+    }
+    return it->second;
+  }
+
+  std::uint64_t base_seed() const { return base_; }
+  std::size_t size() const { return streams_.size(); }
+
+ private:
+  std::uint64_t base_;
+  std::map<std::pair<int, std::uint64_t>, Rng> streams_;
 };
 
 }  // namespace mk::sim

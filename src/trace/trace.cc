@@ -110,6 +110,10 @@ bool ParseCategoryList(const std::string& list, std::uint32_t* mask) {
 
 Tracer::Tracer(std::size_t capacity_per_core, std::uint32_t mask)
     : capacity_(capacity_per_core == 0 ? 1 : capacity_per_core), mask_(mask) {
+  // Pre-size the ring table so Append never resizes it: under the parallel
+  // engine, workers on different tracks touch disjoint slots of a stable
+  // vector. Empty slots cost one pointer each.
+  rings_.resize(kPresizedTracks);
   run_names_.push_back("run0");
 }
 
@@ -144,7 +148,7 @@ Tracer::Ring& Tracer::GrowRing(std::uint16_t core) {
 
 std::uint64_t Tracer::total_records() const {
   std::uint64_t n = 0;
-  for (std::uint64_t c : event_count_) n += c;
+  for (const auto& c : event_count_) n += c.load(std::memory_order_relaxed);
   return n;
 }
 

@@ -27,6 +27,7 @@
 #define MK_TRACE_TRACE_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -180,9 +181,20 @@ inline constexpr std::uint16_t kExecutorTrack = 255;
 // Per-core fixed-capacity overwrite-oldest ring plus exact per-category /
 // per-event totals (kept at append time, so summaries stay exact even after
 // the ring wraps).
+//
+// Thread model under the parallel engine (sim/parallel.h): each engine
+// domain emits on its own disjoint track range (the engine publishes a
+// per-thread track offset that Emit() folds into Record::core), so every
+// ring has exactly one writer. The ring table is pre-sized to the full
+// offset range — no slot is ever created or moved concurrently — and the
+// exact totals are relaxed atomics (counters, not synchronization).
+// Snapshots and summaries run after the engine joins its workers.
 class Tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 14;
+  // Ring-table slots reserved up front: sim::kMaxDomains (64) domains of 512
+  // tracks each. Slots are 8-byte pointers until a track is touched.
+  static constexpr std::size_t kPresizedTracks = std::size_t{1} << 15;
 
   explicit Tracer(std::size_t capacity_per_core = kDefaultCapacity,
                   std::uint32_t mask = kAllCategories);
@@ -207,7 +219,9 @@ class Tracer {
   const std::vector<std::string>& run_names() const { return run_names_; }
 
   // Appends `r` to its core's ring. Zero heap allocations once the core's
-  // ring exists (first touch allocates it).
+  // ring exists (first touch allocates it). Safe from multiple engine
+  // workers as long as each track has one writer (the engine's per-domain
+  // track offsets guarantee this).
   void Append(const Record& r) {
     Ring* ring = r.core < rings_.size() ? rings_[r.core].get() : nullptr;
     if (ring == nullptr) {
@@ -215,12 +229,12 @@ class Tracer {
     }
     ring->records[ring->writes % capacity_] = r;
     ++ring->writes;
-    ++event_count_[static_cast<std::size_t>(r.event)];
+    event_count_[static_cast<std::size_t>(r.event)].fetch_add(1, std::memory_order_relaxed);
     auto cat = static_cast<std::size_t>(r.category);
-    ++category_count_[cat];
+    category_count_[cat].fetch_add(1, std::memory_order_relaxed);
     if (r.phase == Phase::kSpan || r.phase == Phase::kSpanFlowOut ||
         r.phase == Phase::kSpanFlowIn) {
-      category_cycles_[cat] += r.arg1;
+      category_cycles_[cat].fetch_add(r.arg1, std::memory_order_relaxed);
     }
   }
 
@@ -228,13 +242,13 @@ class Tracer {
 
   // Exact totals (independent of ring wraparound).
   std::uint64_t event_count(EventId e) const {
-    return event_count_[static_cast<std::size_t>(e)];
+    return event_count_[static_cast<std::size_t>(e)].load(std::memory_order_relaxed);
   }
   std::uint64_t category_count(Category c) const {
-    return category_count_[static_cast<std::size_t>(c)];
+    return category_count_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
   }
   std::uint64_t category_cycles(Category c) const {
-    return category_cycles_[static_cast<std::size_t>(c)];
+    return category_cycles_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
   }
   std::uint64_t total_records() const;
 
@@ -261,15 +275,21 @@ class Tracer {
   std::uint16_t current_run_ = 0;
   bool installed_ = false;
   std::vector<std::string> run_names_;
-  std::vector<std::unique_ptr<Ring>> rings_;
-  std::array<std::uint64_t, kNumEvents> event_count_{};
-  std::array<std::uint64_t, kNumCategories> category_count_{};
-  std::array<std::uint64_t, kNumCategories> category_cycles_{};
+  std::vector<std::unique_ptr<Ring>> rings_;  // pre-sized; slots fill on first touch
+  std::array<std::atomic<std::uint64_t>, kNumEvents> event_count_{};
+  std::array<std::atomic<std::uint64_t>, kNumCategories> category_count_{};
+  std::array<std::atomic<std::uint64_t>, kNumCategories> category_cycles_{};
 };
 
 namespace internal {
 // Defined in trace.cc; read through Tracer::active() / the emit fast path.
 extern Tracer* g_active;
+// Folded into Record::core by Emit(). The parallel engine sets it to
+// domain * track_stride around each domain's run/drain phase, giving every
+// domain a disjoint track range (and thus single-writer rings) without any
+// emit site knowing about domains. 0 everywhere else, so single-threaded
+// traces are unchanged.
+inline thread_local std::uint16_t tls_track_offset = 0;
 }  // namespace internal
 
 inline Tracer* Tracer::active() { return internal::g_active; }
@@ -292,7 +312,7 @@ template <Category C>
     r.arg0 = arg0;
     r.arg1 = arg1;
     r.flow = flow;
-    r.core = static_cast<std::uint16_t>(core);
+    r.core = static_cast<std::uint16_t>(core + internal::tls_track_offset);
     r.run = t->current_run();
     r.category = C;
     r.event = event;

@@ -3,20 +3,17 @@
 #include <stdexcept>
 
 namespace mk::urpc {
-namespace {
 
 // Channel serial numbers namespace trace flow ids: the sender's and
 // receiver's records for one message share the flow (serial, sequence). The
-// counter advances on every construction, traced or not, so tracing cannot
-// perturb a run.
-std::uint64_t g_channel_serial = 0;
-
-}  // namespace
-
+// serial comes from the owning machine — never a process-wide counter, which
+// would make one domain's flow ids depend on what other domains construct
+// (and race under the parallel engine). It advances on every construction,
+// traced or not, so tracing cannot perturb a run.
 Channel::Channel(hw::Machine& machine, int sender_core, int receiver_core,
                  ChannelOptions opts)
     : machine_(machine), sender_(sender_core), receiver_(receiver_core), opts_(opts),
-      serial_(++g_channel_serial),
+      serial_(machine.NextChannelSerial()),
       readable_(machine.exec()), credit_(machine.exec()) {
   if (opts_.slots < 1) {
     throw std::invalid_argument("Channel: need at least one slot");

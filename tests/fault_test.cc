@@ -23,6 +23,7 @@
 #include "net/stack.h"
 #include "recover/config.h"
 #include "net/wire.h"
+#include "sim/domain.h"
 #include "sim/executor.h"
 #include "skb/skb.h"
 #include "urpc/channel.h"
@@ -105,6 +106,48 @@ TEST(Injector, ProbabilisticStreamsAreDeterministic) {
   int dropped = static_cast<int>(std::count(a.begin(), a.end(), true));
   EXPECT_GT(dropped, 30);
   EXPECT_LT(dropped, 90);
+}
+
+TEST(Injector, FaultStreamsArePerDomainAndOrderIndependent) {
+  // Under the parallel engine each domain consumes its own (spec, domain)
+  // stream, keyed — not allocated in consumption order — so which domain
+  // asks first (an accident of host scheduling in wall time, though not in
+  // the simulated schedule) cannot change any domain's decisions.
+  auto decisions_by_domain = [](std::vector<int> domain_order) {
+    fault::FaultPlan plan;
+    plan.RandomRxLoss(/*rate=*/0.3, /*seed=*/99);
+    ScopedInjector s(plan);
+    std::map<int, std::vector<bool>> out;
+    for (int d : domain_order) {
+      sim::internal::tls_current_domain = d;
+      for (int i = 0; i < 100; ++i) {
+        out[d].push_back(s.inj.ShouldDropRxFrame(static_cast<Cycles>(i) * 100));
+      }
+    }
+    sim::internal::tls_current_domain = 0;
+    return out;
+  };
+  auto a = decisions_by_domain({0, 1});
+  auto b = decisions_by_domain({1, 0});
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
+  EXPECT_NE(a[0], a[1]);  // independent streams, not shifted copies
+}
+
+TEST(Injector, CountedFaultBudgetsArePerDomain) {
+  // A count-limited spec models "this machine's NIC eats one frame"; each
+  // domain is its own machine, so each gets its own budget — domain 1's
+  // simulation must not observe domain 0 having already spent the fault.
+  fault::FaultPlan plan;
+  plan.DropIpi(/*from=*/0, /*to=*/1, /*at=*/0, /*count=*/1);
+  ScopedInjector s(plan);
+  sim::internal::tls_current_domain = 0;
+  EXPECT_TRUE(s.inj.ShouldDropIpi(10, 0, 1));
+  EXPECT_FALSE(s.inj.ShouldDropIpi(20, 0, 1));  // budget spent in domain 0
+  sim::internal::tls_current_domain = 1;
+  EXPECT_TRUE(s.inj.ShouldDropIpi(10, 0, 1));  // fresh budget in domain 1
+  EXPECT_FALSE(s.inj.ShouldDropIpi(20, 0, 1));
+  sim::internal::tls_current_domain = 0;
 }
 
 // --- Hardware injection points ---

@@ -1,0 +1,104 @@
+// Regression tests for RNG stream handout (sim/random.h).
+//
+// The bug class these guard against: handing out streams keyed on *creation
+// order* (a global counter, a vector indexed by arrival). Under the parallel
+// engine, setup code runs per domain and the order in which components come
+// asking is an accident of partitioning — order-keyed streams silently
+// reshuffle every seed when a machine is split across domains. Streams must
+// key on what the stream is *for* (domain, purpose), so the same component
+// draws the same sequence no matter who asked first.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace mk::sim {
+namespace {
+
+std::vector<std::uint64_t> Draw(Rng& rng, int n) {
+  std::vector<std::uint64_t> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(rng.Next());
+  }
+  return out;
+}
+
+TEST(DeriveStreamSeed, IdentityForDomainZeroPurposeZero) {
+  // Domain 0 / purpose 0 is the pre-parallel-engine world: every historical
+  // golden transcript was recorded with the base seed used directly, so the
+  // derivation must be the identity there.
+  EXPECT_EQ(DeriveStreamSeed(42, 0, 0), 42u);
+  EXPECT_EQ(DeriveStreamSeed(0, 0), 0u);
+  EXPECT_EQ(DeriveStreamSeed(0xdeadbeef, 0), 0xdeadbeefu);
+}
+
+TEST(DeriveStreamSeed, DistinctAcrossDomainsAndPurposes) {
+  const std::uint64_t base = 7;
+  std::vector<std::uint64_t> seen;
+  for (int d = 0; d < 8; ++d) {
+    for (std::uint64_t p = 0; p < 4; ++p) {
+      seen.push_back(DeriveStreamSeed(base, d, p));
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    for (std::size_t j = i + 1; j < seen.size(); ++j) {
+      EXPECT_NE(seen[i], seen[j]) << "collision between derived seeds " << i
+                                  << " and " << j;
+    }
+  }
+}
+
+TEST(DeriveStreamSeed, PureFunctionOfInputs) {
+  EXPECT_EQ(DeriveStreamSeed(99, 3, 2), DeriveStreamSeed(99, 3, 2));
+  EXPECT_NE(DeriveStreamSeed(99, 3, 2), DeriveStreamSeed(100, 3, 2));
+}
+
+TEST(StreamPool, HandoutOrderDoesNotChangeStreams) {
+  // The regression proper: two pools, same base seed, streams requested in
+  // opposite orders. Every (domain, purpose) key must yield the identical
+  // sequence regardless of who asked first.
+  StreamPool a(1234);
+  StreamPool b(1234);
+
+  Rng& a0 = a.Get(0);
+  Rng& a1 = a.Get(1);
+  Rng& a2 = a.Get(2, /*purpose=*/5);
+
+  Rng& b2 = b.Get(2, /*purpose=*/5);  // reversed arrival order
+  Rng& b1 = b.Get(1);
+  Rng& b0 = b.Get(0);
+
+  EXPECT_EQ(Draw(a0, 16), Draw(b0, 16));
+  EXPECT_EQ(Draw(a1, 16), Draw(b1, 16));
+  EXPECT_EQ(Draw(a2, 16), Draw(b2, 16));
+}
+
+TEST(StreamPool, InterleavedDrawsMatchSequentialDraws) {
+  // Interleaving draws across streams (as concurrent domains do in wall
+  // time) must not couple the streams: each key's sequence is as if it were
+  // the only stream in the pool.
+  StreamPool a(77);
+  StreamPool b(77);
+
+  std::vector<std::uint64_t> a0;
+  std::vector<std::uint64_t> a1;
+  for (int i = 0; i < 32; ++i) {  // interleaved
+    a0.push_back(a.Get(0).Next());
+    a1.push_back(a.Get(1).Next());
+  }
+  EXPECT_EQ(a0, Draw(b.Get(0), 32));  // sequential
+  EXPECT_EQ(a1, Draw(b.Get(1), 32));
+}
+
+TEST(StreamPool, DomainZeroMatchesBareRng) {
+  // Pre-engine code seeded Rng(base) directly; the pool's domain-0 default
+  // stream must reproduce it exactly or golden transcripts would shift.
+  StreamPool pool(4242);
+  Rng bare(4242);
+  EXPECT_EQ(Draw(pool.Get(0), 64), Draw(bare, 64));
+}
+
+}  // namespace
+}  // namespace mk::sim
