@@ -85,6 +85,34 @@ inline int ParseThreadsFlag(int& argc, char** argv, int def = 1) {
   return threads;
 }
 
+// Consumes --machines=<n> from argv (compacting it): the rack-topology size,
+// parsed uniformly across benches. For rack benches (rack_serving) this is
+// the number of backend machines; par_speedup treats it as an alias for
+// --domains so run scripts can forward one flag everywhere. Single-machine
+// benches accept and ignore any value other than 1 with a warning rather
+// than silently simulating a different topology than asked. Exits with a
+// usage message on a malformed value.
+inline int ParseMachinesFlag(int& argc, char** argv, int def = 1) {
+  int machines = def;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--machines=", 11) == 0) {
+      char* end = nullptr;
+      const long v = std::strtol(arg + 11, &end, 10);
+      if (end == arg + 11 || *end != '\0' || v < 1 || v > 61) {
+        std::fprintf(stderr, "bad --machines value '%s' (want 1..61)\n", arg + 11);
+        std::exit(2);
+      }
+      machines = static_cast<int>(v);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return machines;
+}
+
 // RAII trace scope for a bench run. Inactive (and free) when no --trace flag
 // was given.
 class TraceSession {

@@ -372,8 +372,12 @@ void WriteJson(const std::string& path, const std::vector<WorkloadReport>& repor
 int main(int argc, char** argv) {
   using namespace mk;
   bench::ParseTraceFlags(argc, argv);  // accepted for harness uniformity; not traced
+  // --machines is the rack-wide spelling of this bench's --domains (each
+  // engine domain owns a complete machine here), so run scripts can forward
+  // one flag to every bench.
+  const int machines = bench::ParseMachinesFlag(argc, argv, 0);
   bool quick = false;
-  int domains = 8;
+  int domains = machines != 0 ? machines : 8;
   std::string json_path = "BENCH_parallel.json";
   std::vector<int> thread_counts = {1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {

@@ -9,13 +9,17 @@
 #   bench/run_all.sh --threads=4  # transcript, then re-run the golden gate
 #                                 # at 4 host threads: every bench must match
 #                                 # its 1-thread golden byte-for-byte
+#   bench/run_all.sh --machines=8 # forward a rack size to the benches that
+#                                 # take one (bench_util.h ParseMachinesFlag)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THREADS_PASS=""
+MACHINES_PASS=""
 for arg in "$@"; do
   case "$arg" in
     --threads=*) THREADS_PASS="${arg#--threads=}" ;;
+    --machines=*) MACHINES_PASS="${arg#--machines=}" ;;
     *) echo "run_all.sh: unknown argument $arg" >&2; exit 2 ;;
   esac
 done
@@ -40,12 +44,20 @@ BENCHES=(
   sec54_netperf
   sec54_webserver
   sec54_scaleout
+  rack_serving
   polling_model
   ablation_urpc
 )
+# Benches that understand --machines=N (rack/topology size); everything else
+# simulates a fixed machine and would reject the flag.
+MACHINES_BENCHES=" rack_serving "
 for b in "${BENCHES[@]}"; do
+  args=()
+  if [[ -n "$MACHINES_PASS" && "$MACHINES_BENCHES" == *" $b "* ]]; then
+    args+=("--machines=$MACHINES_PASS")
+  fi
   echo "--- $b" | tee -a "$OUT"
-  ./build/bench/"$b" | tee -a "$OUT"
+  ./build/bench/"$b" ${args[@]+"${args[@]}"} | tee -a "$OUT"
 done
 
 if [[ "${SKIP_MICROBENCH:-0}" != "1" ]]; then

@@ -12,6 +12,9 @@
 # Extra arguments pass through to the binary, e.g.:
 #   bench/run_parallel.sh --quick
 #   bench/run_parallel.sh --domains=16
+#   bench/run_parallel.sh --machines=16   # rack-wide spelling of --domains,
+#                                         # parsed by bench_util.h the same
+#                                         # way rack_serving parses it
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

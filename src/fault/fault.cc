@@ -17,6 +17,8 @@ const char* FaultKindName(FaultKind k) {
     case FaultKind::kNicRxCorrupt: return "nic-rx-corrupt";
     case FaultKind::kNicTxDrop: return "nic-tx-drop";
     case FaultKind::kLinkDelay: return "link-delay";
+    case FaultKind::kWireDrop: return "wire-drop";
+    case FaultKind::kWireDelay: return "wire-delay";
     case FaultKind::kNumKinds: break;
   }
   return "?";
@@ -32,6 +34,15 @@ FaultPlan& FaultPlan::HaltCore(int core, sim::Cycles at) {
   s.kind = FaultKind::kCoreHalt;
   s.at = at;
   s.a = core;
+  return Add(s);
+}
+
+FaultPlan& FaultPlan::HaltMachine(int machine, sim::Cycles at) {
+  FaultSpec s;
+  s.kind = FaultKind::kCoreHalt;
+  s.at = at;
+  s.a = -1;  // every core of the machine
+  s.machine = machine;
   return Add(s);
 }
 
@@ -121,6 +132,43 @@ FaultPlan& FaultPlan::LinkSpike(sim::Cycles extra, sim::Cycles at, sim::Cycles u
   return Add(s);
 }
 
+FaultPlan& FaultPlan::DropWireFrames(int src_machine, int dst_machine,
+                                     sim::Cycles at, int count) {
+  FaultSpec s;
+  s.kind = FaultKind::kWireDrop;
+  s.at = at;
+  s.a = src_machine;
+  s.b = dst_machine;
+  s.count = count;
+  return Add(s);
+}
+
+FaultPlan& FaultPlan::RandomWireLoss(int src_machine, int dst_machine, double rate,
+                                     std::uint64_t seed, sim::Cycles at,
+                                     sim::Cycles until) {
+  FaultSpec s;
+  s.kind = FaultKind::kWireDrop;
+  s.at = at;
+  s.until = until;
+  s.a = src_machine;
+  s.b = dst_machine;
+  s.probability = rate;
+  s.seed = seed;
+  return Add(s);
+}
+
+FaultPlan& FaultPlan::WireDelay(int src_machine, int dst_machine, sim::Cycles extra,
+                                sim::Cycles at, sim::Cycles until) {
+  FaultSpec s;
+  s.kind = FaultKind::kWireDelay;
+  s.at = at;
+  s.until = until;
+  s.a = src_machine;
+  s.b = dst_machine;
+  s.extra = extra;
+  return Add(s);
+}
+
 Injector::Injector(const FaultPlan& plan) {
   for (const FaultSpec& s : plan.specs()) {
     specs_.emplace_back(s);
@@ -155,8 +203,29 @@ bool Armed(const FaultSpec& s, sim::Cycles now) {
 }  // namespace
 
 bool Injector::CoreHalted(int core, sim::Cycles now) const {
+  const int dom = sim::CurrentDomain();
   for (const SpecState& st : specs_) {
-    if (st.spec.kind == FaultKind::kCoreHalt && st.spec.a == core && now >= st.spec.at) {
+    const FaultSpec& s = st.spec;
+    if (s.kind != FaultKind::kCoreHalt || now < s.at) {
+      continue;
+    }
+    if (s.a != -1 && s.a != core) {
+      continue;
+    }
+    if (s.machine != -1 && s.machine != dom) {
+      continue;
+    }
+    st.activations.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool Injector::MachineHalted(int machine, sim::Cycles now) const {
+  for (const SpecState& st : specs_) {
+    const FaultSpec& s = st.spec;
+    if (s.kind == FaultKind::kCoreHalt && s.a == -1 && s.machine == machine &&
+        now >= s.at) {
       st.activations.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -181,6 +250,9 @@ Injector::SpecState* Injector::Consume(FaultKind kind, sim::Cycles now, int a, i
       continue;
     }
     if (!EndpointMatches(s.a, a) || !EndpointMatches(s.b, b)) {
+      continue;
+    }
+    if (s.machine != -1 && s.machine != static_cast<int>(dom)) {
       continue;
     }
     if (s.count != kUnlimited && st.fired[dom] >= s.count) {
@@ -223,6 +295,17 @@ bool Injector::ShouldDropTxFrame(sim::Cycles now, int queue) {
   return Consume(FaultKind::kNicTxDrop, now, queue, -1) != nullptr;
 }
 
+bool Injector::ShouldDropWireFrame(sim::Cycles now, int src_machine,
+                                   int dst_machine) {
+  return Consume(FaultKind::kWireDrop, now, src_machine, dst_machine) != nullptr;
+}
+
+sim::Cycles Injector::WireExtraDelay(sim::Cycles now, int src_machine,
+                                     int dst_machine) {
+  SpecState* st = Consume(FaultKind::kWireDelay, now, src_machine, dst_machine);
+  return st != nullptr ? st->spec.extra : 0;
+}
+
 sim::Cycles Injector::LinkExtra(sim::Cycles now) const {
   sim::Cycles extra = 0;
   for (const SpecState& st : specs_) {
@@ -245,8 +328,8 @@ bool Injector::AllSpecsActivated() const {
 
 void Injector::PrintActivationTable(std::FILE* out) const {
   std::fprintf(out, "fault plan coverage (%zu specs):\n", specs_.size());
-  std::fprintf(out, "  %3s %-14s %12s %12s %4s %4s %5s %12s\n", "#", "kind", "at",
-               "until", "a", "b", "cap", "activations");
+  std::fprintf(out, "  %3s %-14s %12s %12s %4s %4s %4s %5s %12s\n", "#", "kind",
+               "at", "until", "a", "b", "mach", "cap", "activations");
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     const FaultSpec& s = specs_[i].spec;
     char until[24];
@@ -263,9 +346,10 @@ void Injector::PrintActivationTable(std::FILE* out) const {
       std::snprintf(cap, sizeof cap, "%d", s.count);
     }
     const std::uint64_t acts = specs_[i].activations.load(std::memory_order_relaxed);
-    std::fprintf(out, "  %3zu %-14s %12llu %12s %4d %4d %5s %12llu%s\n", i,
+    std::fprintf(out, "  %3zu %-14s %12llu %12s %4d %4d %4d %5s %12llu%s\n", i,
                  FaultKindName(s.kind), static_cast<unsigned long long>(s.at),
-                 until, s.a, s.b, cap, static_cast<unsigned long long>(acts),
+                 until, s.a, s.b, s.machine, cap,
+                 static_cast<unsigned long long>(acts),
                  acts == 0 ? "  <-- never fired" : "");
   }
 }

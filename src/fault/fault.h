@@ -58,6 +58,8 @@ enum class FaultKind : std::uint8_t {
   kNicRxCorrupt,  // frame bit-flipped between wire and RX ring
   kNicTxDrop,     // frame lost after TX DMA, before the wire
   kLinkDelay,     // cross-package interconnect transfers inflated by `extra`
+  kWireDrop,      // cross-machine frame lost on a (src,dst) machine-pair wire
+  kWireDelay,     // cross-machine wire latency inflated by `extra`
   kNumKinds,
 };
 
@@ -67,15 +69,24 @@ const char* FaultKindName(FaultKind k);
 
 // One scheduled fault. A spec is armed while `at <= now < until`, matches the
 // injection site's endpoints (`a`/`b`, -1 = wildcard; for IPIs a = sender
-// core, b = destination core; for kCoreHalt a = the core), fires at most
-// `count` times (kUnlimited = no cap), and — when probability < 1 — draws
-// from its own seeded stream so plans compose without perturbing each other.
+// core, b = destination core; for kCoreHalt a = the core; for wire kinds a =
+// source machine, b = destination machine), fires at most `count` times
+// (kUnlimited = no cap), and — when probability < 1 — draws from its own
+// seeded stream so plans compose without perturbing each other.
+//
+// `machine` scopes a spec to one engine domain (a "machine" under the
+// parallel engine is exactly one domain): -1 matches every domain — the
+// pre-rack behaviour, where each domain's world sees the plan as its own —
+// while machine >= 0 makes the spec fire only for injection sites running in
+// that domain. HaltMachine uses this to halt *all* cores of one machine
+// without touching the same core ids on its rack peers.
 struct FaultSpec {
   FaultKind kind = FaultKind::kCoreHalt;
   sim::Cycles at = 0;
   sim::Cycles until = kForever;
   int a = -1;
   int b = -1;
+  int machine = -1;
   int count = kUnlimited;
   sim::Cycles extra = 0;
   double probability = 1.0;
@@ -88,6 +99,9 @@ class FaultPlan {
  public:
   // Fail-stop halt: `core` executes nothing at or after cycle `at`.
   FaultPlan& HaltCore(int core, sim::Cycles at);
+  // Fail-stop halt of a whole machine: every core of engine domain `machine`
+  // executes nothing at or after `at`; the other domains are untouched.
+  FaultPlan& HaltMachine(int machine, sim::Cycles at);
   // Drop the next `count` IPIs from `from` to `to` (-1 = any) sent at/after `at`.
   FaultPlan& DropIpi(int from, int to, sim::Cycles at, int count = 1);
   // Inflate matching IPIs' wire latency by `extra` while armed.
@@ -110,6 +124,20 @@ class FaultPlan {
                           sim::Cycles until = kForever);
   // Inflate cross-package interconnect transfers by `extra` while armed.
   FaultPlan& LinkSpike(sim::Cycles extra, sim::Cycles at, sim::Cycles until);
+  // Drop the next `count` frames crossing the (src,dst) machine-pair wire
+  // (net::CrossWire consults this in the source machine's domain; -1 = any).
+  FaultPlan& DropWireFrames(int src_machine, int dst_machine, sim::Cycles at,
+                            int count = 1);
+  // Drop each crossing frame with probability `rate` while armed (seeded
+  // stream, consumed in the source machine's domain).
+  FaultPlan& RandomWireLoss(int src_machine, int dst_machine, double rate,
+                            std::uint64_t seed, sim::Cycles at = 0,
+                            sim::Cycles until = kForever);
+  // Latency spike on the (src,dst) machine-pair wire: matching crossings are
+  // delivered `extra` cycles late while armed. Delay only ever widens the
+  // wire's conservative bound, so the engine's lookahead contract holds.
+  FaultPlan& WireDelay(int src_machine, int dst_machine, sim::Cycles extra,
+                       sim::Cycles at, sim::Cycles until = kForever);
 
   FaultPlan& Add(const FaultSpec& spec);
   const std::vector<FaultSpec>& specs() const { return specs_; }
@@ -138,6 +166,10 @@ class Injector {
   // True if `core` has fail-stop halted by `now`. Pure predicate (halts are
   // permanent, never counted), so recovery code can poll it freely.
   bool CoreHalted(int core, sim::Cycles now) const;
+  // True if every core of engine domain `machine` is fail-stop halted by
+  // `now` (i.e. a HaltMachine spec for that domain is armed). Pure predicate,
+  // like CoreHalted; callable from any domain's thread.
+  bool MachineHalted(int machine, sim::Cycles now) const;
   // True if any core is scheduled to halt at some point in the plan.
   bool AnyHaltPlanned() const;
 
@@ -151,6 +183,10 @@ class Injector {
   bool ShouldDropRxFrame(sim::Cycles now, int queue = -1);
   bool ShouldCorruptRxFrame(sim::Cycles now, int queue = -1);
   bool ShouldDropTxFrame(sim::Cycles now, int queue = -1);
+  // Cross-machine wire queries, consulted by net::CrossWire in the source
+  // machine's domain. Endpoints are machine (= engine domain) ids.
+  bool ShouldDropWireFrame(sim::Cycles now, int src_machine, int dst_machine);
+  sim::Cycles WireExtraDelay(sim::Cycles now, int src_machine, int dst_machine);
   // Non-consuming (interval-armed, unlimited): extra cross-package latency.
   sim::Cycles LinkExtra(sim::Cycles now) const;
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "fault/fault.h"
+
 namespace mk::net {
 
 CrossWire::CrossWire(sim::ParallelEngine& engine, int domain_a, SimNic& nic_a,
@@ -29,10 +31,24 @@ void CrossWire::Stop() {
 }
 
 sim::Task<> CrossWire::Pump(Direction& dir) {
+  sim::Executor* src_exec = &engine_.domain(dir.src_domain);
   sim::Executor* dst_exec = &engine_.domain(dir.dst_domain);
   for (;;) {
     Packet p;
     while (dir.src->WirePop(&p)) {
+      // Cross-machine link fault sites, consulted in the source domain so
+      // the spec's per-domain firing counter and probability stream belong
+      // to this machine. A delay spike only ever widens the delivery time
+      // past the registered link latency, so the conservative bound holds.
+      sim::Cycles extra = 0;
+      if (fault::Injector* inj = fault::Injector::active()) {
+        const sim::Cycles now = src_exec->now();
+        if (inj->ShouldDropWireFrame(now, dir.src_domain, dir.dst_domain)) {
+          ++dir.dropped;
+          continue;
+        }
+        extra = inj->WireExtraDelay(now, dir.src_domain, dir.dst_domain);
+      }
       ++dir.forwarded;
       // The posted callback runs on the destination's owning thread at
       // src.now() + latency; only then does the frame enter the
@@ -41,7 +57,13 @@ sim::Task<> CrossWire::Pump(Direction& dir) {
         dst_exec->Spawn(dst->InjectFromWire(std::move(frame)));
       };
       static_assert(sizeof(deliver) <= sim::InlineCallback::kInlineBytes);
-      engine_.Send(dir.src_domain, dir.dst_domain, std::move(deliver));
+      if (extra > 0) {
+        ++dir.delayed;
+        engine_.Post(dir.src_domain, dir.dst_domain,
+                     src_exec->now() + latency_ + extra, std::move(deliver));
+      } else {
+        engine_.Send(dir.src_domain, dir.dst_domain, std::move(deliver));
+      }
     }
     if (dir.stop) {
       co_return;

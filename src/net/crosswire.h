@@ -47,6 +47,13 @@ class CrossWire {
   sim::Cycles latency() const { return latency_; }
   std::uint64_t forwarded_ab() const { return ab_.forwarded; }
   std::uint64_t forwarded_ba() const { return ba_.forwarded; }
+  // Cross-machine link faults (fault::FaultKind::kWireDrop / kWireDelay,
+  // matched on the (src,dst) domain pair): frames dropped on the wire and
+  // frames delivered late by an armed delay spike.
+  std::uint64_t dropped_ab() const { return ab_.dropped; }
+  std::uint64_t dropped_ba() const { return ba_.dropped; }
+  std::uint64_t delayed_ab() const { return ab_.delayed; }
+  std::uint64_t delayed_ba() const { return ba_.delayed; }
 
  private:
   struct Direction {
@@ -55,6 +62,8 @@ class CrossWire {
     SimNic* src;
     SimNic* dst;
     std::uint64_t forwarded = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t delayed = 0;
     bool stop = false;
   };
 
