@@ -41,6 +41,7 @@ BENCHES=(
   sec54_webserver
   sec54_scaleout
   sec54_failover
+  store_readwrite
   rack_serving
   polling_model
   ablation_urpc

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 
 namespace mk::apps {
-namespace {
 
-// --- Tokenizer ---
+// --- Tokenizer (file-local; forward-declared in db.h for member signatures) ---
 
-struct Tokenizer {
-  explicit Tokenizer(const std::string& sql) : s(sql) {}
+class DbTokenizer {
+ public:
+  explicit DbTokenizer(const std::string& sql) : s(sql) {}
 
   // Returns the next token: identifiers/keywords are upper-cased except
   // quoted strings; punctuation is single characters; "" at end.
@@ -67,6 +68,8 @@ struct Tokenizer {
   std::size_t pos = 0;
 };
 
+namespace {
+
 bool IsIntLiteral(const std::string& t) {
   if (t.empty() || t[0] == '\'') {
     return false;
@@ -83,11 +86,23 @@ bool IsIntLiteral(const std::string& t) {
   return true;
 }
 
-DbValue LiteralValue(const std::string& t) {
+// Overflow-safe integer parse. The old std::stoll threw std::out_of_range on
+// a 20-digit literal, and nothing caught it — one malformed INSERT through
+// the write path killed the whole process.
+bool ParseInt64(const std::string& t, std::int64_t* out) {
+  auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), *out);
+  return ec == std::errc() && ptr == t.data() + t.size();
+}
+
+std::optional<DbValue> LiteralValue(const std::string& t) {
   if (!t.empty() && t[0] == '\'') {
-    return t.substr(1);
+    return DbValue{t.substr(1)};
   }
-  return static_cast<std::int64_t>(std::stoll(t));
+  std::int64_t v = 0;
+  if (!ParseInt64(t, &v)) {
+    return std::nullopt;
+  }
+  return DbValue{v};
 }
 
 int Compare(const DbValue& a, const DbValue& b) {
@@ -132,8 +147,35 @@ int Database::Table::ColumnIndex(const std::string& name) const {
   return -1;
 }
 
+bool Database::WhereClause::Matches(const std::vector<DbValue>& row) const {
+  if (col < 0) {
+    return true;
+  }
+  return ApplyOp(op, Compare(row[static_cast<std::size_t>(col)], val));
+}
+
+std::optional<DbError> Database::ParseWhere(DbTokenizer& tok, const Table& table,
+                                            WhereClause* out) {
+  std::string col = tok.Next();
+  out->col = table.ColumnIndex(col);
+  if (out->col < 0) {
+    return DbError{"no such column: " + col};
+  }
+  out->op = tok.Next();
+  std::string lit = tok.Next();
+  if (lit.empty() || (!IsIntLiteral(lit) && lit[0] != '\'')) {
+    return DbError{"bad literal in WHERE"};
+  }
+  std::optional<DbValue> v = LiteralValue(lit);
+  if (!v.has_value()) {
+    return DbError{"integer literal out of range: " + lit};
+  }
+  out->val = std::move(*v);
+  return std::nullopt;
+}
+
 std::optional<DbError> Database::Exec(const std::string& sql) {
-  Tokenizer tok(sql);
+  DbTokenizer tok(sql);
   std::string verb = tok.Next();
   if (verb == "CREATE") {
     if (tok.Next() != "TABLE") {
@@ -183,7 +225,11 @@ std::optional<DbError> Database::Exec(const std::string& sql) {
       if (lit.empty()) {
         return DbError{"unterminated VALUES"};
       }
-      row.push_back(LiteralValue(lit));
+      std::optional<DbValue> v = LiteralValue(lit);
+      if (!v.has_value()) {
+        return DbError{"integer literal out of range: " + lit};
+      }
+      row.push_back(std::move(*v));
       std::string sep = tok.Next();
       if (sep == ")") {
         break;
@@ -202,13 +248,120 @@ std::optional<DbError> Database::Exec(const std::string& sql) {
       }
     }
     it->second.rows.push_back(std::move(row));
+    ++rows_inserted_;
     return std::nullopt;
+  }
+  if (verb == "UPDATE") {
+    return ExecUpdate(tok);
+  }
+  if (verb == "DELETE") {
+    return ExecDelete(tok);
   }
   return DbError{"unsupported statement: " + verb};
 }
 
+// UPDATE t SET col = lit [, col = lit]* [WHERE col op lit]
+//
+// Two-phase on purpose: matching row indexes are collected against the
+// table's pre-statement values first, and assignments run second. Mutating
+// while scanning aliases the WHERE column with the SET column — a statement
+// like UPDATE items SET i_stock = 0 WHERE i_stock > 0 must evaluate every
+// row's predicate against the value it had when the statement began.
+std::optional<DbError> Database::ExecUpdate(DbTokenizer& tok) {
+  std::string name = tok.Next();
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return DbError{"no such table: " + name};
+  }
+  Table& table = it->second;
+  if (tok.Next() != "SET") {
+    return DbError{"expected SET"};
+  }
+  std::vector<std::pair<int, DbValue>> assignments;
+  while (true) {
+    std::string col = tok.Next();
+    int idx = table.ColumnIndex(col);
+    if (idx < 0) {
+      return DbError{"no such column: " + col};
+    }
+    if (tok.Next() != "=") {
+      return DbError{"expected = in SET"};
+    }
+    std::string lit = tok.Next();
+    std::optional<DbValue> v = LiteralValue(lit);
+    if (lit.empty() || !v.has_value()) {
+      return DbError{"bad literal in SET: " + lit};
+    }
+    if (table.columns[static_cast<std::size_t>(idx)].is_int !=
+        std::holds_alternative<std::int64_t>(*v)) {
+      return DbError{"type mismatch in column " + col};
+    }
+    assignments.emplace_back(idx, std::move(*v));
+    if (tok.Peek() == ",") {
+      tok.Next();
+      continue;
+    }
+    break;
+  }
+  WhereClause where;
+  std::string kw = tok.Next();
+  if (kw == "WHERE") {
+    if (auto err = ParseWhere(tok, table, &where)) {
+      return err;
+    }
+    kw = tok.Next();
+  }
+  if (!kw.empty() && kw != ";") {
+    return DbError{"trailing tokens: " + kw};
+  }
+  std::vector<std::size_t> matched;
+  last_exec_scanned_ = table.rows.size();
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    if (where.Matches(table.rows[r])) {
+      matched.push_back(r);
+    }
+  }
+  for (std::size_t r : matched) {
+    for (const auto& [idx, v] : assignments) {
+      table.rows[r][static_cast<std::size_t>(idx)] = v;
+    }
+  }
+  rows_changed_ = matched.size();
+  return std::nullopt;
+}
+
+// DELETE FROM t [WHERE col op lit]
+std::optional<DbError> Database::ExecDelete(DbTokenizer& tok) {
+  if (tok.Next() != "FROM") {
+    return DbError{"expected FROM"};
+  }
+  std::string name = tok.Next();
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return DbError{"no such table: " + name};
+  }
+  Table& table = it->second;
+  WhereClause where;
+  std::string kw = tok.Next();
+  if (kw == "WHERE") {
+    if (auto err = ParseWhere(tok, table, &where)) {
+      return err;
+    }
+    kw = tok.Next();
+  }
+  if (!kw.empty() && kw != ";") {
+    return DbError{"trailing tokens: " + kw};
+  }
+  last_exec_scanned_ = table.rows.size();
+  std::size_t before = table.rows.size();
+  std::erase_if(table.rows,
+                [&where](const std::vector<DbValue>& row) { return where.Matches(row); });
+  rows_changed_ = before - table.rows.size();
+  return std::nullopt;
+}
+
 std::variant<Database::ResultSet, DbError> Database::Query(const std::string& sql) const {
-  Tokenizer tok(sql);
+  DbTokenizer tok(sql);
   if (tok.Next() != "SELECT") {
     return DbError{"expected SELECT"};
   }
@@ -259,7 +412,11 @@ std::variant<Database::ResultSet, DbError> Database::Query(const std::string& sq
     if (lit.empty() || (!IsIntLiteral(lit) && lit[0] != '\'')) {
       return DbError{"bad literal in WHERE"};
     }
-    where_val = LiteralValue(lit);
+    std::optional<DbValue> v = LiteralValue(lit);
+    if (!v.has_value()) {
+      return DbError{"integer literal out of range: " + lit};
+    }
+    where_val = std::move(*v);
     kw = tok.Next();
   }
   if (kw == "ORDER") {
@@ -281,10 +438,9 @@ std::variant<Database::ResultSet, DbError> Database::Query(const std::string& sq
   }
   if (kw == "LIMIT") {
     std::string lit = tok.Next();
-    if (!IsIntLiteral(lit)) {
+    if (!IsIntLiteral(lit) || !ParseInt64(lit, &limit)) {
       return DbError{"bad LIMIT"};
     }
-    limit = std::stoll(lit);
     kw = tok.Next();
   }
   if (!kw.empty() && kw != ";") {

@@ -29,8 +29,10 @@ struct DbError {
 
 class Database {
  public:
-  // Executes CREATE TABLE t (col INT|TEXT, ...) or
-  // INSERT INTO t VALUES (v, ...). Returns an error message on failure.
+  // Executes CREATE TABLE t (col INT|TEXT, ...),
+  // INSERT INTO t VALUES (v, ...),
+  // UPDATE t SET col = lit [, col = lit]* [WHERE col op lit], or
+  // DELETE FROM t [WHERE col op lit]. Returns an error message on failure.
   std::optional<DbError> Exec(const std::string& sql);
 
   struct ResultSet {
@@ -48,6 +50,17 @@ class Database {
   std::size_t TotalRows() const;
   bool HasTable(const std::string& name) const;
 
+  // --- Write-path ledger (mutation accounting the store's invariants audit) ---
+
+  // Rows inserted over the database's lifetime. On a store replica this must
+  // equal the count of acknowledged INSERTs shipped to it — any drift means a
+  // write was lost or double-applied.
+  std::uint64_t rows_inserted() const { return rows_inserted_; }
+  // Rows touched by the most recent successful UPDATE/DELETE (0 for other
+  // statements), and the rows it scanned (the simulated-cost basis).
+  std::uint64_t rows_changed() const { return rows_changed_; }
+  std::uint64_t last_exec_scanned() const { return last_exec_scanned_; }
+
  private:
   struct Column {
     std::string name;
@@ -58,7 +71,20 @@ class Database {
     std::vector<std::vector<DbValue>> rows;
     int ColumnIndex(const std::string& name) const;
   };
+  struct WhereClause {
+    int col = -1;  // -1: no WHERE, every row matches
+    std::string op;
+    DbValue val;
+    bool Matches(const std::vector<DbValue>& row) const;
+  };
+  std::optional<DbError> ExecUpdate(class DbTokenizer& tok);
+  std::optional<DbError> ExecDelete(class DbTokenizer& tok);
+  static std::optional<DbError> ParseWhere(DbTokenizer& tok, const Table& table,
+                                           WhereClause* out);
   std::map<std::string, Table> tables_;
+  std::uint64_t rows_inserted_ = 0;
+  std::uint64_t rows_changed_ = 0;
+  std::uint64_t last_exec_scanned_ = 0;
 };
 
 }  // namespace mk::apps

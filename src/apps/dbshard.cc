@@ -88,6 +88,16 @@ Task<std::string> DbReplicaCluster::Query(int shard, std::string sql) {
     }
     const std::uint64_t inc = incarnation_[static_cast<std::size_t>(target)];
     Shard& s = *shards_[static_cast<std::size_t>(target)];
+    if (!s.caught_up) {
+      // Respawn in flight: the replacement's database is still the stale
+      // construction-time snapshot. Wait for the state transfer instead of
+      // serving empty/old rows, then re-resolve — redirect and incarnation
+      // may both have moved while we slept. Only reachable under fault
+      // injection (plain runs never respawn), so the extra wakeup cannot
+      // perturb a fault-free schedule.
+      co_await s.catch_up.Wait();
+      continue;
+    }
     co_await s.rpc_slot.Acquire();
     for (std::size_t off = 0; off < sql.size(); off += urpc::Message::kPayloadBytes) {
       urpc::Message msg;
@@ -192,24 +202,39 @@ Task<bool> DbReplicaCluster::Respawn(int shard, int spare_db_core) {
   if (donor < 0) {
     co_return false;  // no live replica left to stream from
   }
-  // State transfer, charged like monitor hotplug catch-up (OnlineCore):
-  // posted writes at the donor's DB core, read back at the spare. 64 bytes
-  // per row stands in for the row image.
-  const std::uint64_t bytes = (source_.TotalRows() + 1) * 64;
-  sim::Addr buf = machine_.mem().AllocLines(
-      machine_.topo().PackageOf(spare_db_core), sim::LinesCovering(0, bytes));
-  co_await machine_.mem().WritePosted(
-      shards_[static_cast<std::size_t>(donor)]->placement.db_core, buf, bytes);
-  co_await machine_.mem().Read(spare_db_core, buf, bytes);
-  // Retire the dead replica's Shard object: its parked Serve() task and any
-  // in-flight query still reference its channels.
+  // The donor's Shard object is address-stable even if the donor is retired
+  // mid-transfer (unique_ptr moves keep the pointee), so pin it up front.
+  Shard& donor_s = *shards_[static_cast<std::size_t>(donor)];
+  // Install the replacement immediately, but gated: it opens with the stale
+  // construction-time snapshot and caught_up=false, so a query re-routed here
+  // mid-transfer (e.g. the donor dies too) waits on catch_up instead of
+  // reading rows the transfer hasn't delivered. Redirect keeps pointing at
+  // the donor until the transfer lands — availability is unchanged.
   retired_.push_back(std::move(shards_[idx]));
   ShardPlacement p = retired_.back()->placement;
   p.db_core = spare_db_core;
   shards_[idx] = std::make_unique<Shard>(machine_, p, source_);
+  Shard& fresh = *shards_[idx];
+  fresh.caught_up = false;
   dead_[idx] = false;
-  redirect_[idx] = shard;  // point home again
   ++incarnation_[idx];
+  // State transfer, charged like monitor hotplug catch-up (OnlineCore):
+  // posted writes at the donor's DB core, read back at the spare. 64 bytes
+  // per row stands in for the row image. Sized from the donor's *live*
+  // replica — the construction-time source_ says nothing about rows the
+  // donor gained since boot.
+  const std::uint64_t bytes = (donor_s.db.TotalRows() + 1) * 64;
+  sim::Addr buf = machine_.mem().AllocLines(
+      machine_.topo().PackageOf(spare_db_core), sim::LinesCovering(0, bytes));
+  co_await machine_.mem().WritePosted(donor_s.placement.db_core, buf, bytes);
+  co_await machine_.mem().Read(spare_db_core, buf, bytes);
+  // Only now does the replacement hold real data: copy the donor's live
+  // database (the old code copied source_, silently resurrecting the boot
+  // image), open the gate, and point the shard home again.
+  fresh.db = donor_s.db;
+  fresh.caught_up = true;
+  fresh.catch_up.Signal();
+  redirect_[idx] = shard;  // point home again
   ++respawns_;
   trace::Emit<trace::Category::kRecover>(
       trace::EventId::kRecoverDbRespawn, machine_.exec().now(), p.web_core,

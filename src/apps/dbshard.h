@@ -97,18 +97,33 @@ class DbReplicaCluster {
   }
   std::uint64_t respawns() const { return respawns_; }
   std::uint64_t failover_timeouts() const { return failover_timeouts_; }
+  bool replica_caught_up(int shard) const {
+    return shards_[static_cast<std::size_t>(shard)]->caught_up;
+  }
+  // Test access: lets regression tests diverge a live replica from the
+  // construction-time source before forcing a respawn.
+  Database& replica_db_for_test(int shard) {
+    return shards_[static_cast<std::size_t>(shard)]->db;
+  }
 
  private:
   struct Shard {
     Shard(hw::Machine& m, ShardPlacement p, const Database& source)
         : placement(p), db(source), queries(m, p.web_core, p.db_core),
           replies(m, p.db_core, p.web_core, net::PacketChannel::Options{}),
-          rpc_slot(m.exec(), 1) {}
+          rpc_slot(m.exec(), 1), catch_up(m.exec()) {}
     ShardPlacement placement;
     Database db;  // full read-only replica
     urpc::Channel queries;
     net::PacketChannel replies;
     sim::Semaphore rpc_slot;
+    // Respawn gate: a replacement replica is installed before its state
+    // transfer completes, and must not serve until it has caught up — an
+    // ungated query would read the stale construction-time snapshot and
+    // return empty/old rows with no error. catch_up fires when the transfer
+    // lands.
+    bool caught_up = true;
+    sim::Event catch_up;
     std::uint64_t served = 0;
   };
 

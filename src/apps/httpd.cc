@@ -96,6 +96,39 @@ Task<HttpResponse> HttpServer::Handle(const HttpRequest& req) {
     resp.body = co_await db_query_(sql);
     co_return resp;
   }
+  if (req.path == "/buy" && db_exec_) {
+    // /buy?wid=N&sql=... — split on the FIRST '&' only: the SQL itself
+    // contains '=' (UPDATE ... SET col = v), so naive param splitting would
+    // shred it. '+' encodes spaces, as on /query.
+    std::uint64_t wid = 0;
+    std::string sql;
+    std::size_t amp = req.query.find('&');
+    if (req.query.rfind("wid=", 0) == 0 && amp != std::string::npos) {
+      for (std::size_t i = 4; i < amp; ++i) {
+        char ch = req.query[i];
+        if (ch < '0' || ch > '9') {
+          break;
+        }
+        wid = wid * 10 + static_cast<std::uint64_t>(ch - '0');
+      }
+      sql = req.query.substr(amp + 1);
+      if (sql.rfind("sql=", 0) == 0) {
+        sql = sql.substr(4);
+      }
+    }
+    if (sql.empty()) {
+      resp.status = 400;
+      resp.body = "bad buy request";
+      co_return resp;
+    }
+    for (char& ch : sql) {
+      if (ch == '+') {
+        ch = ' ';
+      }
+    }
+    resp.body = co_await db_exec_(wid, sql);
+    co_return resp;
+  }
   resp.status = 404;
   resp.body = "<html><body>not found</body></html>";
   co_return resp;

@@ -53,6 +53,11 @@ class HttpServer {
   // disables /query.
   using DbQueryFn = std::function<Task<std::string>(std::string sql)>;
 
+  // `db_exec` runs a write (client write id + SQL) on the data tier; empty
+  // handler disables /buy. The wid rides the URL so retries at any layer
+  // stay idempotent end to end.
+  using DbExecFn = std::function<Task<std::string>(std::uint64_t wid, std::string sql)>;
+
   // `request_cost` is the per-request application work (parsing, routing,
   // buffer management, connection bookkeeping) charged on the server core;
   // the default is calibrated against the paper's measured service rate.
@@ -75,6 +80,9 @@ class HttpServer {
   };
   void SetAdmission(Admission a) { admission_ = a; }
 
+  // Enables the /buy?wid=N&sql=... write route (the TPC-W buy leg).
+  void SetDbExec(DbExecFn fn) { db_exec_ = std::move(fn); }
+
   // Accept loop: serves connections until the stack shuts down. Spawn this.
   Task<> Serve();
 
@@ -96,6 +104,7 @@ class HttpServer {
   net::NetStack& stack_;
   std::uint16_t port_;
   DbQueryFn db_query_;
+  DbExecFn db_exec_;
   Cycles request_cost_;
   Admission admission_;
   std::deque<std::pair<net::NetStack::TcpConn*, Cycles>> pending_;

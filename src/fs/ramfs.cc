@@ -8,6 +8,7 @@ const char* FsErrName(FsErr e) {
     case FsErr::kExists: return "exists";
     case FsErr::kNotFound: return "not-found";
     case FsErr::kBadPath: return "bad-path";
+    case FsErr::kUnavailable: return "unavailable";
   }
   return "?";
 }
@@ -49,6 +50,26 @@ int ReplicatedFs::SequencerOf(const std::string& path) const {
 }
 
 FsErr ReplicatedFs::Apply(Replica* replica, const PendingOp& op) {
+  // Redelivery check: a collective that timed out (a replica halted
+  // mid-flight) is retried under a fresh op_id with the same per-path seq.
+  // A replica that already applied this seq must not apply it again — an
+  // append would duplicate bytes, a remove would flip kOk to kNotFound. It
+  // returns the recorded result instead, so every replica still reports the
+  // same deterministic outcome.
+  if (op.seq != 0) {
+    auto mark = replica->applied.find(op.path);
+    if (mark != replica->applied.end() && mark->second.seq >= op.seq) {
+      return mark->second.result;
+    }
+  }
+  FsErr err = ApplyToFiles(replica, op);
+  if (op.seq != 0) {
+    replica->applied[op.path] = AppliedMark{op.seq, err};
+  }
+  return err;
+}
+
+FsErr ReplicatedFs::ApplyToFiles(Replica* replica, const PendingOp& op) {
   switch (op.code) {
     case OpCode::kCreate:
       if (replica->files.count(op.path) != 0) {
@@ -97,20 +118,47 @@ Task<FsErr> ReplicatedFs::Mutate(int core, OpCode code, std::string path,
   // monitor's custom handler applies it to its replica. One collective at a
   // time per sequencer: that serialization is the ordering guarantee.
   co_await seq_slots_[static_cast<std::size_t>(sequencer)]->Acquire();
-  monitor::OpMsg msg;
-  msg.op_id = sys_.on(sequencer).NewOpId();
-  msg.kind = monitor::OpKind::kCustom;
-  msg.proto = monitor::Protocol::kNumaMulticast;
-  msg.source = static_cast<std::uint16_t>(sequencer);
-  PendingOp& slot = pending_[msg.op_id];
-  slot.code = code;
-  slot.path = std::move(path);
-  slot.data = std::move(data);
-  (void)co_await sys_.on(sequencer).RunCollectiveForTest(msg);
+  // The seq is assigned under the slot, so seq order == collective order.
+  PendingOp op;
+  op.code = code;
+  op.path = std::move(path);
+  op.data = std::move(data);
+  op.seq = ++path_seq_[op.path];
+  // A collective can time out when a participant halts mid-flight: some
+  // replicas applied the op, others never saw it. RunCollective has already
+  // excluded the halted cores from the view, so redelivering the same op
+  // (fresh op_id, same seq) converges the survivors — replicas that applied
+  // it skip the duplicate via the seq mark. Without the retry, the old code
+  // read results_[op_id] through operator[] and a failed collective silently
+  // reported default-constructed FsErr::kOk.
+  FsErr err = FsErr::kUnavailable;
+  bool delivered = false;
+  constexpr int kMaxDeliveryAttempts = 3;
+  for (int attempt = 0; attempt < kMaxDeliveryAttempts && !delivered; ++attempt) {
+    monitor::OpMsg msg;
+    msg.op_id = sys_.on(sequencer).NewOpId();
+    msg.kind = monitor::OpKind::kCustom;
+    msg.proto = monitor::Protocol::kNumaMulticast;
+    msg.source = static_cast<std::uint16_t>(sequencer);
+    pending_[msg.op_id] = op;
+    auto res = co_await sys_.on(sequencer).RunCollectiveForTest(msg);
+    auto rit = results_.find(msg.op_id);
+    if (res.all_yes && rit != results_.end()) {
+      err = rit->second;
+      delivered = true;  // every online replica applied it
+    }
+    if (rit != results_.end()) {
+      results_.erase(rit);
+    }
+    pending_.erase(msg.op_id);
+    if (!delivered) {
+      if (!res.retryable) {
+        break;  // aborted for good; kUnavailable surfaces to the caller
+      }
+      ++redeliveries_;
+    }
+  }
   ++mutations_;
-  FsErr err = results_[msg.op_id];
-  results_.erase(msg.op_id);
-  pending_.erase(msg.op_id);
   seq_slots_[static_cast<std::size_t>(sequencer)]->Release();
   // Completion notification back to the caller.
   if (core != sequencer) {
@@ -183,6 +231,14 @@ std::uint64_t ReplicatedFs::ReplicaDigest(int core) const {
     mix(path.data(), path.size());
     mix(data.data(), data.size());
   }
+  // The applied-seq marks are replica state too: divergence there means a
+  // future redelivery would be skipped on one replica and applied on another.
+  for (const auto& [path, mark] : r.applied) {
+    mix(path.data(), path.size());
+    mix(&mark.seq, sizeof(mark.seq));
+    std::uint8_t res = static_cast<std::uint8_t>(mark.result);
+    mix(&res, sizeof(res));
+  }
   return h;
 }
 
@@ -200,8 +256,20 @@ Task<> ReplicatedFs::SyncReplica(int from_core, int to_core) {
 }
 
 bool ReplicatedFs::ReplicasConsistent() const {
-  std::uint64_t digest = ReplicaDigest(0);
-  for (int c = 1; c < sys_.num_cores(); ++c) {
+  // Baseline from the first *online* replica: core 0 may itself be halted,
+  // in which case its stale replica must not condemn the survivors.
+  int base = -1;
+  for (int c = 0; c < sys_.num_cores(); ++c) {
+    if (sys_.IsOnline(c)) {
+      base = c;
+      break;
+    }
+  }
+  if (base < 0) {
+    return true;
+  }
+  std::uint64_t digest = ReplicaDigest(base);
+  for (int c = base + 1; c < sys_.num_cores(); ++c) {
     if (sys_.IsOnline(c) && ReplicaDigest(c) != digest) {
       return false;
     }

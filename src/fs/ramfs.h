@@ -34,6 +34,7 @@ enum class FsErr {
   kExists,
   kNotFound,
   kBadPath,
+  kUnavailable,  // collective kept timing out; outcome unknown to the caller
 };
 
 const char* FsErrName(FsErr e);
@@ -68,6 +69,8 @@ class ReplicatedFs {
   Task<> SyncReplica(int from_core, int to_core);
 
   std::uint64_t mutations() const { return mutations_; }
+  // Collectives that timed out and were redelivered (fault runs only).
+  std::uint64_t redeliveries() const { return redeliveries_; }
 
  private:
   enum class OpCode : std::uint8_t { kCreate, kWrite, kAppend, kRemove };
@@ -75,13 +78,27 @@ class ReplicatedFs {
     OpCode code;
     std::string path;
     std::vector<std::uint8_t> data;
+    // Per-path mutation sequence number, assigned under the sequencer slot.
+    // Replicas use it to recognise a redelivered op: a collective that times
+    // out (some replica halted mid-flight) is retried, and every replica that
+    // already applied the op must skip the second delivery instead of
+    // double-applying it.
+    std::uint64_t seq = 0;
+  };
+  struct AppliedMark {
+    std::uint64_t seq = 0;
+    FsErr result = FsErr::kOk;
   };
   struct Replica {
     std::map<std::string, std::vector<std::uint8_t>> files;
+    // path -> highest applied seq and its result; consulted on redelivery.
+    std::map<std::string, AppliedMark> applied;
   };
 
-  // Applies an op to one replica (host-side state change).
+  // Applies an op to one replica (host-side state change), skipping seqs the
+  // replica has already applied (redelivery idempotence).
   static FsErr Apply(Replica* replica, const PendingOp& op);
+  static FsErr ApplyToFiles(Replica* replica, const PendingOp& op);
   // Runs the op through the sequencer + collective; returns the local result.
   // (Scalar/string parameters rather than an aggregate: GCC 12 miscompiles
   // braced aggregate temporaries passed to coroutines.)
@@ -96,8 +113,10 @@ class ReplicatedFs {
   std::vector<std::unique_ptr<sim::Semaphore>> seq_slots_;
   std::map<std::uint64_t, PendingOp> pending_;  // op_id -> payload (host side)
   std::map<std::uint64_t, FsErr> results_;      // eventual per-op outcome
+  std::map<std::string, std::uint64_t> path_seq_;  // next seq per path
   sim::Addr transfer_region_;
   std::uint64_t mutations_ = 0;
+  std::uint64_t redeliveries_ = 0;
 };
 
 }  // namespace mk::fs

@@ -1,0 +1,113 @@
+#include "fs/wal.h"
+
+#include <cstring>
+
+namespace mk::fs {
+
+namespace {
+void PutU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+void EncodeWalRecord(const WalRecord& rec, std::vector<std::uint8_t>* out) {
+  PutU64(out, rec.lsn);
+  PutU64(out, rec.term);
+  PutU32(out, static_cast<std::uint32_t>(rec.payload.size()));
+  out->insert(out->end(), rec.payload.begin(), rec.payload.end());
+}
+
+bool DecodeWalLog(const std::vector<std::uint8_t>& bytes, std::vector<WalRecord>* out) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < 20) {
+      return false;  // torn header
+    }
+    WalRecord rec;
+    rec.lsn = GetU64(bytes.data() + off);
+    rec.term = GetU64(bytes.data() + off + 8);
+    std::uint32_t len = GetU32(bytes.data() + off + 16);
+    off += 20;
+    if (bytes.size() - off < len) {
+      return false;  // torn payload
+    }
+    rec.payload.assign(reinterpret_cast<const char*>(bytes.data() + off), len);
+    off += len;
+    out->push_back(std::move(rec));
+  }
+  return true;
+}
+
+std::string Wal::PickPath(const ReplicatedFs& fs, const std::string& stem,
+                          int sequencer) {
+  for (int nonce = 0;; ++nonce) {
+    std::string path = stem + "-" + std::to_string(nonce);
+    if (fs.SequencerOf(path) == sequencer) {
+      return path;
+    }
+  }
+}
+
+Task<FsErr> Wal::Open(int core) {
+  FsErr err = co_await fs_.Create(core, path_);
+  co_return err == FsErr::kExists ? FsErr::kOk : err;
+}
+
+Task<FsErr> Wal::Append(int core, const WalRecord& rec) {
+  std::vector<std::uint8_t> frame;
+  EncodeWalRecord(rec, &frame);
+  co_return co_await fs_.Append(core, path_, std::move(frame));
+}
+
+Task<std::vector<WalRecord>> Wal::ReadAll(int core) const {
+  std::vector<WalRecord> out;
+  auto bytes = co_await fs_.Read(core, path_);
+  if (bytes.has_value()) {
+    DecodeWalLog(*bytes, &out);
+  }
+  co_return out;
+}
+
+Task<std::int64_t> Wal::TruncateAfter(int core, std::uint64_t keep_lsn) {
+  std::vector<WalRecord> records = co_await ReadAll(core);
+  std::vector<std::uint8_t> retained;
+  std::int64_t discarded = 0;
+  for (const WalRecord& rec : records) {
+    if (rec.lsn <= keep_lsn) {
+      EncodeWalRecord(rec, &retained);
+    } else {
+      ++discarded;
+    }
+  }
+  if (discarded == 0) {
+    co_return 0;  // nothing to drop; skip the replicated rewrite
+  }
+  FsErr err = co_await fs_.Write(core, path_, std::move(retained));
+  co_return err == FsErr::kOk ? discarded : -1;
+}
+
+}  // namespace mk::fs

@@ -1,0 +1,76 @@
+// Write-ahead log on the replicated file system.
+//
+// A Wal is one append-only file in fs::ReplicatedFs holding fixed-framed
+// records [lsn | term | len | payload]. Appending is a replicated-fs mutation
+// — a one-phase collective over every online core's replica — so a completed
+// append means the record is durable on every live core, including each
+// follower's. That is what lets the store's commit rule ("follower durability
+// before ack") piggyback on the fs layer: the follower's ack confirms it
+// *applied* the record; durability came with the append itself.
+//
+// Replay is a replica-local read (cheap, like all fs reads), which is how a
+// respawned follower catches up from arbitrary lag: read the log on its own
+// core, apply every record beyond its applied lsn, repeat until it has closed
+// the gap to the leader.
+//
+// Truncation (promotion discarding an uncommitted suffix) rewrites the file
+// with the retained prefix via a replicated Write — again a single collective,
+// so all replicas truncate together.
+#ifndef MK_FS_WAL_H_
+#define MK_FS_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/ramfs.h"
+#include "sim/task.h"
+
+namespace mk::fs {
+
+struct WalRecord {
+  std::uint64_t lsn = 0;
+  std::uint64_t term = 0;   // leadership epoch that wrote the record
+  std::string payload;      // opaque to the log (the store ships SQL text)
+};
+
+// Frame: [u64 lsn][u64 term][u32 len][len bytes], little-endian host order
+// (the log never leaves the simulated machine).
+void EncodeWalRecord(const WalRecord& rec, std::vector<std::uint8_t>* out);
+// Decodes every whole record in `bytes`. Returns false on a torn or corrupt
+// frame (appends are atomic collectives, so this indicates a logic bug, not
+// a crash artifact); records decoded before the bad frame are kept in `out`.
+bool DecodeWalLog(const std::vector<std::uint8_t>& bytes, std::vector<WalRecord>* out);
+
+class Wal {
+ public:
+  Wal(ReplicatedFs& fs, std::string path) : fs_(fs), path_(std::move(path)) {}
+
+  // Picks "<stem>-<nonce>" whose mutation sequencer is `sequencer`, so a
+  // shard's log keeps its ordering authority on a core the shard controls
+  // (and its fault plans spare).
+  static std::string PickPath(const ReplicatedFs& fs, const std::string& stem,
+                              int sequencer);
+
+  // Creates the log file (idempotent: an existing file is fine).
+  Task<FsErr> Open(int core);
+  // Appends one record; completion == durable on every online replica.
+  Task<FsErr> Append(int core, const WalRecord& rec);
+  // Replica-local replay: decodes the whole log as seen from `core`.
+  Task<std::vector<WalRecord>> ReadAll(int core) const;
+  // Discards every record with lsn > keep_lsn (the uncommitted suffix a new
+  // leader drops at promotion). Returns the number of records discarded, or
+  // -1 if the replicated rewrite failed.
+  Task<std::int64_t> TruncateAfter(int core, std::uint64_t keep_lsn);
+
+  const std::string& path() const { return path_; }
+  ReplicatedFs& fs() { return fs_; }
+
+ private:
+  ReplicatedFs& fs_;
+  std::string path_;
+};
+
+}  // namespace mk::fs
+
+#endif  // MK_FS_WAL_H_

@@ -51,6 +51,24 @@ struct RecoveryConfig {
   // Replica-failover retry budget: distinct replicas a query will try before
   // giving up (first attempt included).
   int db_max_attempts = 3;
+
+  // --- Replicated read-write store (src/apps/store over URPC/PacketChannel) ---
+
+  // How long the web tier waits for the shard leader's reply before retrying.
+  // Writes pay WAL append (a machine-wide collective) plus log shipping plus
+  // a follower durability ack before the leader responds, so this sits above
+  // db_rpc_timeout.
+  sim::Cycles store_rpc_timeout = 3'000'000;
+  // Write/read retry budget at the web tier (first attempt included). Retries
+  // reuse the client write id, so a write that committed but lost its ack is
+  // answered "dup" rather than applied twice.
+  int store_max_attempts = 4;
+  // Leader's per-wait bound on follower durability acks; each expiry
+  // re-checks which followers are still live before waiting again.
+  sim::Cycles store_commit_timeout = 500'000;
+  // Respawned-replica catch-up: pause between WAL replay rounds while the
+  // follower closes the gap to the leader's last assigned lsn.
+  sim::Cycles store_catchup_poll = 100'000;
 };
 
 // The process-wide current configuration. The simulator is single-threaded;

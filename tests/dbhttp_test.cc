@@ -105,6 +105,69 @@ TEST(Db, TpcwPopulationAndQuery) {
   EXPECT_EQ(rs.rows_scanned, 100u);  // full scan: the cost basis
 }
 
+TEST(Db, UpdateRewritesMatchingRowsInPlace) {
+  Database db = MakeDb();
+  EXPECT_FALSE(db.Exec("UPDATE items SET i_cost = 999 WHERE i_title = 'beta'"));
+  EXPECT_EQ(db.rows_changed(), 1u);
+  EXPECT_EQ(db.last_exec_scanned(), 4u);  // full scan: the cost basis
+  auto rs = MustQuery(db, "SELECT i_cost FROM items WHERE i_id = 2");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 999);
+  EXPECT_EQ(db.TableRows("ITEMS"), 4u);  // update never changes cardinality
+  // Multi-column SET, and no WHERE means every row.
+  EXPECT_FALSE(db.Exec("UPDATE items SET i_cost = 1, i_title = 'flat'"));
+  EXPECT_EQ(db.rows_changed(), 4u);
+  EXPECT_EQ(MustQuery(db, "SELECT i_id FROM items WHERE i_cost = 1").rows.size(), 4u);
+  // A SET referencing the WHERE column must not see its own writes (the
+  // in-place-update vs. scan aliasing bug): bump exactly the 300s, once.
+  Database db2 = MakeDb();
+  EXPECT_FALSE(db2.Exec("UPDATE items SET i_cost = 300 WHERE i_cost = 500"));
+  EXPECT_EQ(db2.rows_changed(), 1u);
+  EXPECT_EQ(MustQuery(db2, "SELECT i_id FROM items WHERE i_cost = 300").rows.size(), 3u);
+}
+
+TEST(Db, DeleteRemovesMatchingRows) {
+  Database db = MakeDb();
+  EXPECT_FALSE(db.Exec("DELETE FROM items WHERE i_cost = 300"));
+  EXPECT_EQ(db.rows_changed(), 2u);
+  EXPECT_EQ(db.TableRows("ITEMS"), 2u);
+  EXPECT_FALSE(db.Exec("DELETE FROM items WHERE i_cost = 300"));  // idempotent
+  EXPECT_EQ(db.rows_changed(), 0u);
+  EXPECT_FALSE(db.Exec("DELETE FROM items"));  // no WHERE: empty the table
+  EXPECT_EQ(db.rows_changed(), 2u);
+  EXPECT_EQ(db.TableRows("ITEMS"), 0u);
+  EXPECT_TRUE(db.Exec("DELETE FROM nope").has_value());
+}
+
+TEST(Db, MutationLedgerCountsOnlySuccessfulInserts) {
+  Database db = MakeDb();
+  EXPECT_EQ(db.rows_inserted(), 4u);  // MakeDb's fixture rows
+  EXPECT_FALSE(db.Exec("INSERT INTO items VALUES (5, 'eps', 100)"));
+  EXPECT_EQ(db.rows_inserted(), 5u);
+  EXPECT_TRUE(db.Exec("INSERT INTO items VALUES (6, 'bad')").has_value());
+  EXPECT_EQ(db.rows_inserted(), 5u);  // rejected statements leave no trace
+  EXPECT_EQ(db.TableRows("ITEMS"), 5u);
+}
+
+TEST(Db, IntegerLiteralOverflowIsRejectedNotWrapped) {
+  // Pre-fix, stoll threw (or UB'd) on out-of-range literals; now the parser
+  // must reject them as errors, leaving the table untouched.
+  Database db = MakeDb();
+  auto err = db.Exec("INSERT INTO items VALUES (99999999999999999999999, 'x', 1)");
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->message.find("out of range"), std::string::npos);
+  EXPECT_EQ(db.TableRows("ITEMS"), 4u);
+  EXPECT_EQ(db.rows_inserted(), 4u);
+  // WHERE literals too: rejected, not wrapped into a bogus comparison.
+  EXPECT_TRUE(db.Exec("DELETE FROM items WHERE i_cost = 18446744073709551617").has_value());
+  EXPECT_EQ(db.TableRows("ITEMS"), 4u);
+  // Boundary values parse exactly.
+  EXPECT_FALSE(db.Exec("INSERT INTO items VALUES (9223372036854775807, 'max', -1)"));
+  auto rs = MustQuery(db, "SELECT i_id FROM items WHERE i_title = 'max'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(rs.rows[0][0]), 9223372036854775807LL);
+}
+
 TEST(Http, ParsesRequestLine) {
   HttpRequest req;
   EXPECT_TRUE(ParseHttpRequest("GET /index.html HTTP/1.0\r\n\r\n", &req));

@@ -447,6 +447,55 @@ TEST(DbFailover, RespawnRestoresTheHomeReplicaWithAFreshIncarnation) {
   EXPECT_EQ(cluster.queries_served(1), 1u);
 }
 
+TEST(DbFailover, RespawnCopiesTheLiveDonorAndGatesQueriesUntilCaughtUp) {
+  // Two regressions from the store PR's bugfix sweep, pinned together:
+  // 1. Respawn used to copy the construction-time source_, silently
+  //    resurrecting the boot image — rows the donor gained since boot
+  //    vanished from the replacement with no error.
+  // 2. The replacement was installed before its state transfer completed and
+  //    would serve the stale snapshot; a query routed to it mid-transfer must
+  //    instead wait on the caught-up gate.
+  sim::Executor exec;
+  hw::Machine machine(exec, hw::Amd4x4());
+  apps::Database source;
+  apps::PopulateTpcw(&source, 50);
+  apps::DbReplicaCluster cluster(machine, source, {{0, 1}, {4, 5}, {8, 9}});
+  for (int sh = 0; sh < 3; ++sh) {
+    exec.Spawn(cluster.Serve(sh));
+  }
+  std::string answer;
+  bool respawn_ok = false;
+  exec.Spawn([](hw::Machine& m, apps::DbReplicaCluster& c, std::string& out,
+                bool& ok) -> Task<> {
+    (void)c.HandleCoreFailure(5);  // shard 1 dies; redirect -> shard 2
+    EXPECT_EQ(c.redirect(1), 2);
+    // The donor diverges from the boot image before the respawn: the
+    // replacement must end up with THIS row, not the source_ snapshot.
+    c.replica_db_for_test(2).Exec(
+        "INSERT INTO items VALUES (999, 'item-999', 0, 1, 1)");
+    m.exec().Spawn([](hw::Machine& m2, apps::DbReplicaCluster& c2, bool& ok2) -> Task<> {
+      ok2 = co_await c2.Respawn(/*shard=*/1, /*spare_db_core=*/13);
+      m2.exec().Spawn(c2.Serve(1));
+    }(m, c, ok));
+    co_await m.exec().Delay(1'000);  // the respawn is now mid-transfer
+    // The donor dies too: shards whose redirect pointed at it re-resolve, and
+    // shard 1's lands on the freshly installed (NOT yet caught-up) replica.
+    (void)c.HandleCoreFailure(9);
+    EXPECT_EQ(c.redirect(1), 1);
+    EXPECT_FALSE(c.replica_caught_up(1));
+    // This query reaches the gated replica mid-transfer: it must wait for the
+    // catch-up, then serve the donor's diverged row.
+    out = co_await c.Query(1, apps::TpcwQuery(999));
+    co_await c.Shutdown();
+  }(machine, cluster, answer, respawn_ok));
+  exec.Run();
+  EXPECT_TRUE(respawn_ok);
+  EXPECT_TRUE(cluster.replica_caught_up(1));
+  EXPECT_NE(answer.find("item-999"), std::string::npos)
+      << "respawned replica served the boot image, not the donor's live state";
+  EXPECT_EQ(cluster.queries_served(1), 1u);
+}
+
 // --- RST paths: unknown flows and abandoned handshakes ---
 
 Packet MidFlowAck(Ipv4Addr src_ip, Ipv4Addr dst_ip, std::uint16_t src_port,

@@ -1,0 +1,205 @@
+// Tests for the write-ahead log on the replicated fs: framing, append
+// durability across replicas, replica-local replay, truncation on promotion,
+// catch-up from arbitrary lag, and bit-identical determinism (the golden gate
+// re-runs the store bench at --threads=4; these pin the log layer itself).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/ramfs.h"
+#include "fs/wal.h"
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "kernel/cpu_driver.h"
+#include "monitor/monitor.h"
+#include "sim/executor.h"
+#include "skb/skb.h"
+
+namespace mk::fs {
+namespace {
+
+using kernel::CpuDriver;
+using sim::Cycles;
+using sim::Task;
+
+struct Fixture {
+  explicit Fixture(hw::PlatformSpec spec = hw::Amd4x4())
+      : machine(exec, std::move(spec)),
+        drivers(CpuDriver::BootAll(machine)),
+        skb(machine),
+        sys(machine, skb, drivers),
+        fs(sys) {
+    skb.PopulateFromHardware();
+    sys.Boot();
+  }
+  sim::Executor exec;
+  hw::Machine machine;
+  std::vector<std::unique_ptr<CpuDriver>> drivers;
+  skb::Skb skb;
+  monitor::MonitorSystem sys;
+  ReplicatedFs fs;
+};
+
+WalRecord Rec(std::uint64_t lsn, std::uint64_t term, std::string payload) {
+  WalRecord r;
+  r.lsn = lsn;
+  r.term = term;
+  r.payload = std::move(payload);
+  return r;
+}
+
+TEST(WalFraming, EncodeDecodeRoundTrip) {
+  std::vector<std::uint8_t> log;
+  EncodeWalRecord(Rec(1, 0, "1 INSERT INTO t VALUES (1)"), &log);
+  EncodeWalRecord(Rec(2, 3, ""), &log);  // empty payload is a legal frame
+  EncodeWalRecord(Rec(3, 3, std::string(300, 'x')), &log);
+  std::vector<WalRecord> out;
+  ASSERT_TRUE(DecodeWalLog(log, &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].lsn, 1u);
+  EXPECT_EQ(out[0].term, 0u);
+  EXPECT_EQ(out[0].payload, "1 INSERT INTO t VALUES (1)");
+  EXPECT_EQ(out[1].payload, "");
+  EXPECT_EQ(out[2].term, 3u);
+  EXPECT_EQ(out[2].payload.size(), 300u);
+}
+
+TEST(WalFraming, TornFrameRejectedButPrefixKept) {
+  std::vector<std::uint8_t> log;
+  EncodeWalRecord(Rec(1, 0, "first"), &log);
+  EncodeWalRecord(Rec(2, 0, "second"), &log);
+  log.resize(log.size() - 3);  // tear the last frame
+  std::vector<WalRecord> out;
+  EXPECT_FALSE(DecodeWalLog(log, &out));
+  ASSERT_EQ(out.size(), 1u);  // whole records before the tear survive
+  EXPECT_EQ(out[0].payload, "first");
+}
+
+TEST(Wal, PickPathPinsTheSequencer) {
+  Fixture f;
+  const std::string path = Wal::PickPath(f.fs, "/wal/shard0", /*sequencer=*/4);
+  EXPECT_EQ(path.rfind("/wal/shard0", 0), 0u);
+  EXPECT_EQ(f.fs.SequencerOf(path), 4);
+}
+
+TEST(Wal, AppendReplaysIdenticallyFromEveryReplica) {
+  Fixture f;
+  Wal wal(f.fs, Wal::PickPath(f.fs, "/wal/a", 0));
+  f.exec.Spawn([](Fixture& fx, Wal& w) -> Task<> {
+    EXPECT_EQ(co_await w.Open(1), FsErr::kOk);
+    EXPECT_EQ(co_await w.Open(1), FsErr::kOk);  // idempotent
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+      // Appenders on different cores: the per-path sequencer orders them.
+      EXPECT_EQ(co_await w.Append(static_cast<int>(i % 4), Rec(i, 1, "op" + std::to_string(i))),
+                FsErr::kOk);
+    }
+    // Replay is replica-local; every core's replica holds the same log.
+    auto from2 = co_await w.ReadAll(2);
+    auto from13 = co_await w.ReadAll(13);
+    EXPECT_EQ(from2.size(), 5u);
+    EXPECT_EQ(from13.size(), 5u);
+    for (std::uint64_t i = 0; i < 5 && i < from2.size() && i < from13.size(); ++i) {
+      EXPECT_EQ(from2[i].lsn, i + 1);
+      EXPECT_EQ(from2[i].payload, "op" + std::to_string(i + 1));
+      EXPECT_EQ(from13[i].lsn, from2[i].lsn);
+      EXPECT_EQ(from13[i].payload, from2[i].payload);
+    }
+    fx.sys.Shutdown();
+  }(f, wal));
+  f.exec.Run();
+  EXPECT_TRUE(f.fs.ReplicasConsistent());
+}
+
+TEST(Wal, TruncateAfterDiscardsExactlyTheSuffix) {
+  Fixture f;
+  Wal wal(f.fs, Wal::PickPath(f.fs, "/wal/b", 3));
+  f.exec.Spawn([](Fixture& fx, Wal& w) -> Task<> {
+    (void)co_await w.Open(0);
+    for (std::uint64_t i = 1; i <= 6; ++i) {
+      (void)co_await w.Append(0, Rec(i, 1, "r" + std::to_string(i)));
+    }
+    // Promotion to applied_lsn=4: records 5 and 6 never committed, drop them.
+    EXPECT_EQ(co_await w.TruncateAfter(0, 4), 2);
+    auto log = co_await w.ReadAll(7);
+    EXPECT_EQ(log.size(), 4u);
+    EXPECT_EQ(log.empty() ? 0u : log.back().lsn, 4u);
+    // Nothing beyond the tail: truncation is idempotent.
+    EXPECT_EQ(co_await w.TruncateAfter(0, 99), 0);
+    // The log keeps accepting appends after a truncation (the new leader's
+    // first write reuses the dropped lsns under its own term).
+    EXPECT_EQ(co_await w.Append(0, Rec(5, 2, "r5-term2")), FsErr::kOk);
+    auto log2 = co_await w.ReadAll(0);
+    EXPECT_EQ(log2.size(), 5u);
+    EXPECT_EQ(log2.empty() ? 0u : log2.back().term, 2u);
+    fx.sys.Shutdown();
+  }(f, wal));
+  f.exec.Run();
+  EXPECT_TRUE(f.fs.ReplicasConsistent());
+}
+
+TEST(Wal, CatchUpFromArbitraryLagReachesTheTail) {
+  // A respawned follower replays from its applied lsn, however far behind:
+  // model lags 0, 3, and 9 against a 10-record log and verify each replay
+  // applies exactly the missing suffix in order.
+  Fixture f;
+  Wal wal(f.fs, Wal::PickPath(f.fs, "/wal/c", 1));
+  f.exec.Spawn([](Fixture& fx, Wal& w) -> Task<> {
+    (void)co_await w.Open(0);
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+      (void)co_await w.Append(0, Rec(i, 1, "v" + std::to_string(i)));
+    }
+    for (std::uint64_t lag_from : {0u, 3u, 9u}) {
+      std::uint64_t applied = lag_from;
+      auto log = co_await w.ReadAll(5);
+      for (const WalRecord& rec : log) {
+        if (rec.lsn == applied + 1) {
+          applied = rec.lsn;
+        }
+      }
+      EXPECT_EQ(applied, 10u) << "catch-up from lsn " << lag_from;
+    }
+    fx.sys.Shutdown();
+  }(f, wal));
+  f.exec.Run();
+}
+
+TEST(Wal, SameSequenceReplaysBitIdentically) {
+  // Two fresh simulations running the identical append/truncate/replay
+  // sequence must agree on every simulated cycle and every logged byte —
+  // the determinism the store's golden transcript (and its --threads=4 leg
+  // in check_golden.sh) builds on.
+  auto run = [](Cycles* final_now, std::vector<WalRecord>* log_out) {
+    Fixture f;
+    Wal wal(f.fs, Wal::PickPath(f.fs, "/wal/d", 2));
+    f.exec.Spawn([](Fixture& fx, Wal& w, std::vector<WalRecord>* out) -> Task<> {
+      (void)co_await w.Open(3);
+      for (std::uint64_t i = 1; i <= 8; ++i) {
+        (void)co_await w.Append(static_cast<int>(3 * i % 16), Rec(i, 1, "p" + std::to_string(i)));
+      }
+      (void)co_await w.TruncateAfter(3, 6);
+      *out = co_await w.ReadAll(11);
+      fx.sys.Shutdown();
+    }(f, wal, log_out));
+    f.exec.Run();
+    *final_now = f.exec.now();
+  };
+  Cycles now_a = 0;
+  Cycles now_b = 0;
+  std::vector<WalRecord> log_a;
+  std::vector<WalRecord> log_b;
+  run(&now_a, &log_a);
+  run(&now_b, &log_b);
+  EXPECT_EQ(now_a, now_b);
+  ASSERT_EQ(log_a.size(), log_b.size());
+  ASSERT_EQ(log_a.size(), 6u);
+  for (std::size_t i = 0; i < log_a.size(); ++i) {
+    EXPECT_EQ(log_a[i].lsn, log_b[i].lsn);
+    EXPECT_EQ(log_a[i].term, log_b[i].term);
+    EXPECT_EQ(log_a[i].payload, log_b[i].payload);
+  }
+}
+
+}  // namespace
+}  // namespace mk::fs
