@@ -175,6 +175,10 @@ std::optional<DbError> Database::ParseWhere(DbTokenizer& tok, const Table& table
 }
 
 std::optional<DbError> Database::Exec(const std::string& sql) {
+  // Per-statement counters: stale values from an earlier UPDATE/DELETE must
+  // not leak into the next statement's accounting (or its simulated cost).
+  rows_changed_ = 0;
+  last_exec_scanned_ = 0;
   DbTokenizer tok(sql);
   std::string verb = tok.Next();
   if (verb == "CREATE") {

@@ -101,12 +101,18 @@ Task<HttpResponse> HttpServer::Handle(const HttpRequest& req) {
     // contains '=' (UPDATE ... SET col = v), so naive param splitting would
     // shred it. '+' encodes spaces, as on /query.
     std::uint64_t wid = 0;
+    bool wid_ok = false;
     std::string sql;
     std::size_t amp = req.query.find('&');
     if (req.query.rfind("wid=", 0) == 0 && amp != std::string::npos) {
+      // The wid must be all digits up to the '&': a truncated parse of a
+      // malformed wid (wid=12x) could collide with another client's write id
+      // and dedup a write that was never applied.
+      wid_ok = amp > 4;
       for (std::size_t i = 4; i < amp; ++i) {
         char ch = req.query[i];
         if (ch < '0' || ch > '9') {
+          wid_ok = false;
           break;
         }
         wid = wid * 10 + static_cast<std::uint64_t>(ch - '0');
@@ -116,7 +122,7 @@ Task<HttpResponse> HttpServer::Handle(const HttpRequest& req) {
         sql = sql.substr(4);
       }
     }
-    if (sql.empty()) {
+    if (!wid_ok || sql.empty()) {
       resp.status = 400;
       resp.body = "bad buy request";
       co_return resp;

@@ -270,11 +270,12 @@ Task<std::string> ReplicatedStore::HandleWrite(Group& g, Replica* r, std::uint64
                                                const std::string& sql) {
   // Exactly-once: a retry of a write this group already applied (committed
   // but the ack was lost with the old leader) is answered without touching
-  // the log or the tables.
-  if (r->applied_wids.count(wid) != 0) {
+  // the log or the tables — "dup" if it applied, the recorded engine error
+  // if it was rejected, so a lost error reply never turns into a false "dup".
+  if (auto dup = r->applied_wids.find(wid); dup != r->applied_wids.end()) {
     co_await machine_.Compute(r->core, 1000);
     ++g.writes_dup;
-    co_return "dup";
+    co_return dup->second.empty() ? "dup" : "error: db: " + dup->second;
   }
   const std::uint64_t term = g.term;
   const std::uint64_t lsn = g.last_lsn + 1;
@@ -300,15 +301,24 @@ Task<std::string> ReplicatedStore::HandleWrite(Group& g, Replica* r, std::uint64
   g.last_lsn = lsn;
   // 2. Local apply (the leader is always caught up by construction).
   auto err = r->db.Exec(sql);
-  r->applied_wids.insert(wid);
+  r->applied_wids.emplace(wid, err.has_value() ? err->message : std::string());
   r->applied_lsn = lsn;
   if (r->term_seen < term) {
     r->term_seen = term;
   }
   co_await machine_.Compute(r->core, 5000 + r->db.last_exec_scanned() * 25);
   // 3. Ship to every live follower (even catching-up ones: applying shipped
-  //    records in lsn order is how they converge).
-  for (auto& l : g.links) {
+  //    records in lsn order is how they converge). Snapshot the Link set
+  //    first: Send can suspend, and a view change during the suspension may
+  //    MakeLink (g.links.push_back reallocates, invalidating live iterators).
+  //    Link objects themselves are never destroyed, only the vector moves —
+  //    and links the new leader adds mid-ship are not ours to ship on.
+  std::vector<Link*> ship_to;
+  ship_to.reserve(g.links.size());
+  for (const auto& l : g.links) {
+    ship_to.push_back(l.get());
+  }
+  for (Link* l : ship_to) {
     if (l->active && l->follower->alive) {
       co_await l->ship.Send(EncodeShip(rec));
       ++g.records_shipped;
@@ -367,9 +377,11 @@ std::uint64_t ReplicatedStore::ApplyRecord(Replica* r, const fs::WalRecord& rec)
   std::string sql;
   std::uint64_t scanned = 0;
   if (ParsePayload(rec.payload, &wid, &sql) && r->applied_wids.count(wid) == 0) {
-    (void)r->db.Exec(sql);  // engine-level rejects are deterministic no-ops
+    // Engine-level rejects are deterministic no-ops; the message is recorded
+    // so this replica, once leader, answers a retry with the real outcome.
+    auto err = r->db.Exec(sql);
     scanned = r->db.last_exec_scanned();
-    r->applied_wids.insert(wid);
+    r->applied_wids.emplace(wid, err.has_value() ? err->message : std::string());
   }
   r->applied_lsn = rec.lsn;
   if (r->term_seen < rec.term) {
@@ -581,7 +593,10 @@ Task<> ReplicatedStore::Shutdown() {
       poison.tag = kShutdownTag;
       co_await r->requests.Send(poison);
     }
-    for (auto& l : g.links) {
+    // Index loop, not a range-for: Send suspends, and a view change during
+    // the suspension may push_back onto g.links (iterator invalidation).
+    for (std::size_t i = 0; i < g.links.size(); ++i) {
+      Link* l = g.links[i].get();
       if (l->active) {
         fs::WalRecord poison;  // lsn 0 = ship poison
         co_await l->ship.Send(EncodeShip(poison));

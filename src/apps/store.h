@@ -41,7 +41,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -163,7 +162,11 @@ class ReplicatedStore {
     std::uint64_t applied_lsn = 0;
     std::uint64_t acked_lsn = 0;   // leader-side view of this follower
     std::uint64_t term_seen = 0;   // fences out deposed leaders' late ships
-    std::set<std::uint64_t> applied_wids;  // write-id dedup (a unique index)
+    // Write-id dedup (a unique index), recording each write's engine outcome
+    // ("" = applied, else the deterministic rejection message) so a retry of
+    // a rejected write replays the error instead of claiming "dup" — like
+    // ramfs's AppliedMark answers a redelivery with the recorded result.
+    std::map<std::uint64_t, std::string> applied_wids;
     bool alive = true;
     bool caught_up = true;  // false while a respawn replays the WAL
     urpc::Channel requests;

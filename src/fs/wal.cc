@@ -103,9 +103,11 @@ Task<std::int64_t> Wal::TruncateAfter(int core, std::uint64_t keep_lsn) {
       ++discarded;
     }
   }
-  if (discarded == 0) {
-    co_return 0;  // nothing to drop; skip the replicated rewrite
-  }
+  // Always rewrite, even when nothing was discarded: the read above is
+  // replica-local (no sequencer slot), so a deposed leader's in-flight append
+  // can sequence after it. The Write serializes behind any such append on the
+  // sequencer slot and clobbers the orphan — skipping it would leave a record
+  // whose lsn the new leader is about to reassign.
   FsErr err = co_await fs_.Write(core, path_, std::move(retained));
   co_return err == FsErr::kOk ? discarded : -1;
 }

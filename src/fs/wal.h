@@ -59,8 +59,10 @@ class Wal {
   // Replica-local replay: decodes the whole log as seen from `core`.
   Task<std::vector<WalRecord>> ReadAll(int core) const;
   // Discards every record with lsn > keep_lsn (the uncommitted suffix a new
-  // leader drops at promotion). Returns the number of records discarded, or
-  // -1 if the replicated rewrite failed.
+  // leader drops at promotion). The rewrite always runs, even when nothing is
+  // discarded: it serializes behind (and clobbers) a deposed leader's
+  // in-flight append that sequenced after the replica-local read. Returns the
+  // number of records discarded, or -1 if the replicated rewrite failed.
   Task<std::int64_t> TruncateAfter(int core, std::uint64_t keep_lsn);
 
   const std::string& path() const { return path_; }

@@ -149,6 +149,25 @@ TEST(Db, MutationLedgerCountsOnlySuccessfulInserts) {
   EXPECT_EQ(db.TableRows("ITEMS"), 5u);
 }
 
+TEST(Db, PerStatementCountersResetBetweenStatements) {
+  // rows_changed/last_exec_scanned are per-statement: an INSERT (or a failed
+  // statement) after an UPDATE must not report the UPDATE's stale counts —
+  // the store charges simulated compute from last_exec_scanned, so leakage
+  // skews every subsequent write's cost.
+  Database db = MakeDb();
+  EXPECT_FALSE(db.Exec("UPDATE items SET i_cost = 999 WHERE i_title = 'beta'"));
+  EXPECT_EQ(db.rows_changed(), 1u);
+  EXPECT_EQ(db.last_exec_scanned(), 4u);
+  EXPECT_FALSE(db.Exec("INSERT INTO items VALUES (9, 'eta', 5)"));
+  EXPECT_EQ(db.rows_changed(), 0u);
+  EXPECT_EQ(db.last_exec_scanned(), 0u);
+  EXPECT_FALSE(db.Exec("DELETE FROM items WHERE i_cost = 999"));
+  EXPECT_EQ(db.rows_changed(), 1u);
+  EXPECT_TRUE(db.Exec("DELETE FROM nope").has_value());  // failed statement
+  EXPECT_EQ(db.rows_changed(), 0u);
+  EXPECT_EQ(db.last_exec_scanned(), 0u);
+}
+
 TEST(Db, IntegerLiteralOverflowIsRejectedNotWrapped) {
   // Pre-fix, stoll threw (or UB'd) on out-of-range literals; now the parser
   // must reject them as errors, leaving the table untouched.
@@ -322,6 +341,28 @@ TEST(HttpServerEndToEnd, OversizedHeaderlessRequestGets400AndBoundedBuffer) {
   std::string reply = f.Roundtrip(flood);
   EXPECT_EQ(reply.rfind("HTTP/1.0 400", 0), 0u);
   EXPECT_EQ(f.server.requests_served(), 0u);
+}
+
+TEST(HttpServerEndToEnd, MalformedBuyWidGets400) {
+  HttpFixture f;
+  bool exec_called = false;
+  f.server.SetDbExec(
+      [&exec_called](std::uint64_t, std::string) -> Task<std::string> {
+        exec_called = true;
+        co_return "ok 1";
+      });
+  // A non-digit in the wid must be a 400, not a silently truncated wid that
+  // could collide with another client's write id and answer "dup" for a
+  // write that was never applied. Empty wids are malformed too.
+  std::string reply = f.Roundtrip("GET /buy?wid=12x&sql=INSERT HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(reply.rfind("HTTP/1.0 400", 0), 0u);
+  reply = f.Roundtrip("GET /buy?wid=&sql=INSERT HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(reply.rfind("HTTP/1.0 400", 0), 0u);
+  EXPECT_FALSE(exec_called);
+  // A well-formed wid still reaches the store.
+  reply = f.Roundtrip("GET /buy?wid=12&sql=INSERT HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(reply.rfind("HTTP/1.0 200", 0), 0u);
+  EXPECT_TRUE(exec_called);
 }
 
 // --- Sharded read-only DB replicas ---

@@ -115,6 +115,32 @@ TEST(Store, RetryWithSameWidAnswersDupWithoutReapplying) {
   EXPECT_EQ(store.last_lsn(0), 1u);  // the dup never reached the WAL
 }
 
+TEST(Store, RetryOfRejectedWriteReplaysTheErrorNotDup) {
+  // An engine-rejected write is logged and dedup-tracked like any other; if
+  // its error reply is lost in a failover, the client's retry must learn the
+  // recorded rejection — answering "dup" would report a write that never
+  // applied as committed.
+  Fixture f;
+  ReplicatedStore& store = f.MakeStore({{0, {1, 2}, 3}});
+  f.exec.Spawn([](Fixture& fx, ReplicatedStore& st) -> Task<> {
+    const std::string bad = "INSERT INTO nope VALUES (1, 1)";
+    std::string first = co_await st.Execute(0, /*wid=*/9, bad);
+    EXPECT_EQ(first, "error: db: no such table: NOPE");
+    std::string retry = co_await st.Execute(0, /*wid=*/9, bad);
+    EXPECT_EQ(retry, first);  // the recorded outcome, not "dup"
+    // A committed write's retry still answers "dup".
+    EXPECT_EQ(co_await st.Execute(0, /*wid=*/10, Insert(1, 1)), "ok 2");
+    EXPECT_EQ(co_await st.Execute(0, /*wid=*/10, Insert(1, 1)), "dup");
+    EXPECT_EQ(st.replica_table_rows(0, 0, "KV"), 1u);
+    co_await st.Shutdown();
+    fx.sys.Shutdown();
+  }(f, store));
+  f.exec.Run();
+  EXPECT_EQ(store.writes_rejected(0), 1u);
+  EXPECT_EQ(store.writes_dup(0), 2u);  // both retries took the dedup path
+  EXPECT_EQ(store.writes_committed(0), 1u);
+}
+
 TEST(Store, ShardsArePartitionsWithIndependentLogs) {
   Fixture f;
   ReplicatedStore& store = f.MakeStore({{0, {1, 2}, 3}, {4, {5, 6}, 7}});

@@ -139,6 +139,64 @@ TEST(Wal, TruncateAfterDiscardsExactlyTheSuffix) {
   EXPECT_TRUE(f.fs.ReplicasConsistent());
 }
 
+TEST(Wal, TruncateAlwaysRewritesSoOrphanAppendsAreClobbered) {
+  // The promotion-time read is replica-local (no sequencer slot), so a
+  // deposed leader's in-flight append can sequence after it. TruncateAfter
+  // must therefore always issue the replicated rewrite — serialized behind
+  // any such append on the sequencer slot — even when the read saw nothing
+  // to discard; skipping it would leave an orphan record whose lsn the new
+  // leader is about to reassign.
+  Fixture f;
+  Wal wal(f.fs, Wal::PickPath(f.fs, "/wal/c", 2));
+  f.exec.Spawn([](Fixture& fx, Wal& w) -> Task<> {
+    (void)co_await w.Open(0);
+    (void)co_await w.Append(0, Rec(1, 1, "committed"));
+    const std::uint64_t before = w.fs().mutations();
+    EXPECT_EQ(co_await w.TruncateAfter(0, 1), 0);  // nothing to discard...
+    EXPECT_EQ(w.fs().mutations(), before + 1);     // ...but the rewrite ran
+    auto log = co_await w.ReadAll(5);
+    EXPECT_EQ(log.size(), 1u);  // and the content is unchanged
+    fx.sys.Shutdown();
+  }(f, wal));
+  f.exec.Run();
+  EXPECT_TRUE(f.fs.ReplicasConsistent());
+}
+
+TEST(Wal, PromotionRewriteClobbersInFlightOrphanAppend) {
+  // The deposed-leader scenario end-to-end: an append (lsn 2, old term) is in
+  // the sequencer pipeline when the new leader truncates to its applied
+  // lsn 1. Whether the truncate's replica-local read sees the orphan or not,
+  // the sequenced rewrite lands after the append and the final log holds
+  // exactly the committed prefix — never an orphan whose lsn the new leader
+  // will reassign.
+  Fixture f;
+  Wal wal(f.fs, Wal::PickPath(f.fs, "/wal/d", 2));
+  f.exec.Spawn([](Fixture& fx, Wal& w) -> Task<> {
+    (void)co_await w.Open(0);
+    (void)co_await w.Append(0, Rec(1, 1, "committed"));
+    bool orphan_done = false;
+    fx.exec.Spawn([](Wal& w2, bool& done) -> Task<> {
+      (void)co_await w2.Append(1, Rec(2, 1, "orphan"));
+      done = true;
+    }(w, orphan_done));
+    // Let the orphan reach the sequencer pipeline first: only appends already
+    // in flight at promotion are the hazard (a dead leader can't start new
+    // ones), and the rewrite must serialize behind exactly those.
+    co_await fx.exec.Delay(1'000);
+    (void)co_await w.TruncateAfter(0, 1);  // promotion races the orphan
+    while (!orphan_done) {
+      co_await fx.exec.Delay(1'000);
+    }
+    auto log = co_await w.ReadAll(3);
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.empty() ? 0u : log[0].lsn, 1u);
+    EXPECT_EQ(log.empty() ? "" : log[0].payload, "committed");
+    fx.sys.Shutdown();
+  }(f, wal));
+  f.exec.Run();
+  EXPECT_TRUE(f.fs.ReplicasConsistent());
+}
+
 TEST(Wal, CatchUpFromArbitraryLagReachesTheTail) {
   // A respawned follower replays from its applied lsn, however far behind:
   // model lags 0, 3, and 9 against a 10-record log and verify each replay
