@@ -41,6 +41,7 @@ BENCHES=(
   fig7_unmap
   fig8_twopc
   fig9_compute
+  sync_scaling
   sec54_netperf
   sec54_webserver
   sec54_scaleout

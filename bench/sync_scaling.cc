@@ -1,0 +1,489 @@
+// Scalable synchronization: barrier cost and lock handoff vs. core count
+// (1..16 on the 4x4-core AMD system), centralized primitives against the
+// src/proc/sync library, plus the Metis-style MapReduce jobs riding both.
+//
+// Three sweeps, every number in simulated cycles or coherence events (no
+// wall clock — the output is a golden transcript):
+//
+//   * barrier — N cores repeatedly meet at a proc::Barrier. The centralized
+//     flavor serializes N read-modify-writes of one counter line and then a
+//     N-way invalidation storm on the release line (cost ~ N); the tree
+//     flavor plays a ceil(log2 N)-round tournament whose per-round flags are
+//     homed on the spinning core's package (cost ~ log N, cross-package
+//     traffic plateaus at the tree edges that span packages).
+//   * locks — N cores hammer acquire/compute/release. The MCS queue lock
+//     hands off with O(1) line transfers between a fixed pair of cores; the
+//     ticket lock (same FIFO order — the controlled baseline) pays an
+//     O(waiters) refetch storm per handoff; the centralized test-and-set
+//     mutex is the existing proc::Mutex fast path.
+//   * mapreduce — word count and histogram (apps/mapreduce.h) at 1..16
+//     cores under both flavors; checksums must agree everywhere (the
+//     workload's answer cannot depend on who synchronizes it).
+//
+// Shape gates (exit non-zero on violation): the tree barrier must beat the
+// centralized barrier at 16 cores in cycles and cross-package dwords and
+// must grow sub-linearly where the centralized one grows linearly; the MCS
+// lock must beat the ticket lock at 16 cores in both cycles and transfers
+// per handoff; every MapReduce checksum must match across flavors and core
+// counts. Exact values are pinned by bench/golden/sync_scaling.txt.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/mapreduce.h"
+#include "bench_util.h"
+#include "hw/machine.h"
+#include "hw/platform.h"
+#include "proc/openmp.h"
+#include "proc/sync/sync.h"
+#include "proc/threads.h"
+#include "sim/executor.h"
+
+namespace mk {
+namespace {
+
+using apps::WorkloadParams;
+using apps::WorkloadResult;
+using proc::OmpRuntime;
+using proc::SyncFlavor;
+using sim::Cycles;
+using sim::Task;
+
+const std::vector<int> kCoreCounts = {1, 2, 4, 8, 12, 16};
+
+struct Point {
+  int cores = 0;
+  double cycles = 0;     // per episode / per acquire-release
+  double transfers = 0;  // c2c + dram line fills, same denominator
+  double xpkg_dwords = 0;  // interconnect dwords crossing packages
+};
+
+struct Counts {
+  std::uint64_t transfers = 0;
+  std::uint64_t xpkg_dwords = 0;
+};
+
+Counts ReadCounts(hw::Machine& machine) {
+  Counts c;
+  const hw::CoreCounters total = machine.counters().Total();
+  c.transfers = total.c2c_transfers + total.dram_fetches;
+  const int packages = machine.topo().num_packages();
+  for (int p = 0; p < packages; ++p) {
+    for (int q = 0; q < packages; ++q) {
+      if (p != q) {
+        c.xpkg_dwords += machine.counters().link_dwords(p, q);
+      }
+    }
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Barrier sweep.
+
+Task<> BarrierWorker(proc::Barrier& bar, int core, int episodes) {
+  for (int e = 0; e < episodes; ++e) {
+    co_await bar.Arrive(core);
+  }
+}
+
+Point MeasureBarrier(const hw::PlatformSpec& spec, SyncFlavor flavor, int n,
+                     int episodes) {
+  sim::Executor exec;
+  hw::Machine machine(exec, spec);
+  std::vector<int> cores;
+  for (int i = 0; i < n; ++i) {
+    cores.push_back(i);
+  }
+  proc::Barrier bar(machine, n, flavor, 0, cores);
+  for (int c : cores) {
+    exec.Spawn(BarrierWorker(bar, c, episodes));
+  }
+  exec.Run();
+  const Counts counts = ReadCounts(machine);
+  Point p;
+  p.cores = n;
+  p.cycles = static_cast<double>(exec.now()) / episodes;
+  p.transfers = static_cast<double>(counts.transfers) / episodes;
+  p.xpkg_dwords = static_cast<double>(counts.xpkg_dwords) / episodes;
+  return p;
+}
+
+Task<> TreeWorker(proc::sync::TreeBarrier& bar, int party, int episodes) {
+  for (int e = 0; e < episodes; ++e) {
+    co_await bar.Arrive(party);
+  }
+}
+
+// The raw tree with the homing rule on (force_home = -1) or every flag line
+// forced onto one node — the ablation isolating the rule's cost.
+Point MeasureTreeHoming(const hw::PlatformSpec& spec, int n, int episodes,
+                        int force_home) {
+  sim::Executor exec;
+  hw::Machine machine(exec, spec);
+  proc::sync::TreeBarrier bar(machine, n, {}, force_home);
+  for (int party = 0; party < n; ++party) {
+    exec.Spawn(TreeWorker(bar, party, episodes));
+  }
+  exec.Run();
+  const Counts counts = ReadCounts(machine);
+  Point p;
+  p.cores = n;
+  p.cycles = static_cast<double>(exec.now()) / episodes;
+  p.transfers = static_cast<double>(counts.transfers) / episodes;
+  p.xpkg_dwords = static_cast<double>(counts.xpkg_dwords) / episodes;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Lock sweep. Critical section of 60 cycles, 140 cycles of private work
+// between attempts: enough think time that the queue drains and refills,
+// keeping every handoff contended without degenerating to a convoy.
+
+constexpr Cycles kCriticalSection = 60;
+constexpr Cycles kThinkTime = 140;
+
+Task<> MutexWorker(hw::Machine& m, proc::Mutex& mu, int core, int iters) {
+  for (int i = 0; i < iters; ++i) {
+    co_await mu.Lock(core);
+    co_await m.Compute(core, kCriticalSection);
+    co_await mu.Unlock(core);
+    co_await m.Compute(core, kThinkTime);
+  }
+}
+
+Task<> TicketWorker(hw::Machine& m, proc::sync::TicketLock& lk, int core, int iters) {
+  for (int i = 0; i < iters; ++i) {
+    co_await lk.Acquire(core);
+    co_await m.Compute(core, kCriticalSection);
+    co_await lk.Release(core);
+    co_await m.Compute(core, kThinkTime);
+  }
+}
+
+enum class LockImpl { kMcs, kTicket, kTas };
+
+Point MeasureLock(LockImpl impl, int n, int iters) {
+  sim::Executor exec;
+  hw::Machine machine(exec, hw::Amd4x4());
+  proc::Mutex mutex(machine, impl == LockImpl::kMcs ? SyncFlavor::kScalable
+                                                    : SyncFlavor::kUserSpace);
+  proc::sync::TicketLock ticket(machine);
+  for (int c = 0; c < n; ++c) {
+    if (impl == LockImpl::kTicket) {
+      exec.Spawn(TicketWorker(machine, ticket, c, iters));
+    } else {
+      exec.Spawn(MutexWorker(machine, mutex, c, iters));
+    }
+  }
+  exec.Run();
+  const Counts counts = ReadCounts(machine);
+  const double ops = static_cast<double>(n) * iters;
+  Point p;
+  p.cores = n;
+  p.cycles = static_cast<double>(exec.now()) / ops;
+  p.transfers = static_cast<double>(counts.transfers) / ops;
+  p.xpkg_dwords = static_cast<double>(counts.xpkg_dwords) / ops;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce sweep.
+
+struct MrPoint {
+  int cores = 0;
+  double cycles = 0;
+  double checksum = 0;
+};
+
+MrPoint MeasureMapReduce(const apps::WorkloadEntry& w, int threads, SyncFlavor flavor,
+                         WorkloadParams params) {
+  sim::Executor exec;
+  hw::Machine machine(exec, hw::Amd4x4());
+  std::vector<int> cores;
+  for (int i = 0; i < threads; ++i) {
+    cores.push_back(i);
+  }
+  OmpRuntime omp(machine, std::move(cores), flavor);
+  WorkloadResult result;
+  exec.Spawn([](Task<WorkloadResult> task, WorkloadResult& out) -> Task<> {
+    out = co_await std::move(task);
+  }(w.run(omp, params), result));
+  exec.Run();
+  MrPoint p;
+  p.cores = threads;
+  p.cycles = static_cast<double>(result.cycles);
+  p.checksum = result.checksum;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+
+struct Gate {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+void AddGate(std::vector<Gate>& gates, const std::string& name, bool pass,
+             const std::string& detail) {
+  gates.push_back({name, pass, detail});
+}
+
+double At(const std::vector<Point>& pts, int cores, double Point::* field) {
+  for (const Point& p : pts) {
+    if (p.cores == cores) {
+      return p.*field;
+    }
+  }
+  return 0;
+}
+
+std::string Fmt(const char* fmt, double a, double b) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, fmt, a, b);
+  return buf;
+}
+
+void WriteJson(const std::string& path, bool quick, const std::vector<Point>& bar_cent,
+               const std::vector<Point>& bar_tree, const std::vector<Point>& numa_homed,
+               const std::vector<Point>& numa_node0, const std::vector<Point>& lk_mcs,
+               const std::vector<Point>& lk_ticket, const std::vector<Point>& lk_tas,
+               const std::vector<std::pair<std::string, std::vector<MrPoint>>>& mr,
+               const std::vector<Gate>& gates) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sync_scaling\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  auto points = [f](const char* name, const std::vector<Point>& pts, bool comma) {
+    std::fprintf(f, "  \"%s\": [\n", name);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"cores\": %d, \"cycles\": %.2f, \"transfers\": %.2f, "
+                   "\"xpkg_dwords\": %.2f}%s\n",
+                   pts[i].cores, pts[i].cycles, pts[i].transfers, pts[i].xpkg_dwords,
+                   i + 1 < pts.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]%s\n", comma ? "," : "");
+  };
+  points("barrier_centralized", bar_cent, true);
+  points("barrier_tree", bar_tree, true);
+  points("tree_numa_homed", numa_homed, true);
+  points("tree_numa_node0", numa_node0, true);
+  points("lock_mcs", lk_mcs, true);
+  points("lock_ticket", lk_ticket, true);
+  points("lock_tas", lk_tas, true);
+  std::fprintf(f, "  \"mapreduce\": [\n");
+  for (std::size_t j = 0; j < mr.size(); ++j) {
+    const auto& [name, pts] = mr[j];
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const bool last = j + 1 == mr.size() && i + 1 == pts.size();
+      // Series alternates centralized/scalable per core count, in pairs.
+      std::fprintf(f,
+                   "    {\"job\": \"%s\", \"flavor\": \"%s\", \"cores\": %d, "
+                   "\"cycles\": %.0f, \"checksum\": %.6f}%s\n",
+                   name.c_str(), i % 2 == 0 ? "centralized" : "scalable", pts[i].cores,
+                   pts[i].cycles, pts[i].checksum, last ? "" : ",");
+    }
+  }
+  std::fprintf(f, "  ],\n  \"gates\": [\n");
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"pass\": %s}%s\n", gates[i].name.c_str(),
+                 gates[i].pass ? "true" : "false", i + 1 < gates.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nresults written to %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace mk
+
+int main(int argc, char** argv) {
+  using namespace mk;
+  bench::TraceSession trace_session(bench::ParseTraceFlags(argc, argv));
+  bench::ParseThreadsFlag(argc, argv);  // single-domain bench: host threads cannot change its schedule (sim/parallel.h)
+  bool quick = false;
+  std::string json_path = "BENCH_sync.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  const int episodes = quick ? 8 : 32;
+  const int lock_iters = quick ? 8 : 24;
+
+  bench::PrintHeader(
+      "Scalable synchronization: barrier and lock cost vs. core count (4x4 AMD)");
+
+  // Barrier sweep.
+  std::vector<Point> bar_cent;
+  std::vector<Point> bar_tree;
+  for (int n : kCoreCounts) {
+    bar_cent.push_back(MeasureBarrier(hw::Amd4x4(), SyncFlavor::kUserSpace, n, episodes));
+    bar_tree.push_back(MeasureBarrier(hw::Amd4x4(), SyncFlavor::kScalable, n, episodes));
+  }
+  std::printf("\n--- barrier episode cost (%d episodes) ---\n", episodes);
+  {
+    bench::SeriesTable table("cores");
+    table.AddSeries("cent cyc");
+    table.AddSeries("tree cyc");
+    table.AddSeries("cent xfer");
+    table.AddSeries("tree xfer");
+    table.AddSeries("cent xpkg");
+    table.AddSeries("tree xpkg");
+    for (std::size_t i = 0; i < bar_cent.size(); ++i) {
+      table.AddRow(bar_cent[i].cores,
+                   {bar_cent[i].cycles, bar_tree[i].cycles, bar_cent[i].transfers,
+                    bar_tree[i].transfers, bar_cent[i].xpkg_dwords,
+                    bar_tree[i].xpkg_dwords});
+    }
+    table.Print("%12.1f");
+  }
+
+  // The NUMA homing rule, priced by ablation: the same tree with every flag
+  // line force-homed on node 0, on the 2x4 Intel snoop-filter platform where
+  // directed probes make placement visible in link traffic. (HyperTransport
+  // broadcasts probes to every package on every miss, so on the AMD box
+  // total link dwords track total misses, not placement — the paper's
+  // argument for why shared-memory traffic is at the mercy of the
+  // interconnect.)
+  std::vector<Point> numa_homed;
+  std::vector<Point> numa_node0;
+  for (int n : {2, 4, 8}) {
+    numa_homed.push_back(MeasureTreeHoming(hw::Intel2x4(), n, episodes, -1));
+    numa_node0.push_back(MeasureTreeHoming(hw::Intel2x4(), n, episodes, 0));
+  }
+  std::printf(
+      "\n--- tree-barrier NUMA homing ablation (2x4 Intel, snoop filter) ---\n");
+  {
+    bench::SeriesTable table("cores");
+    table.AddSeries("homed cyc");
+    table.AddSeries("node0 cyc");
+    table.AddSeries("homed xpkg");
+    table.AddSeries("node0 xpkg");
+    for (std::size_t i = 0; i < numa_homed.size(); ++i) {
+      table.AddRow(numa_homed[i].cores,
+                   {numa_homed[i].cycles, numa_node0[i].cycles,
+                    numa_homed[i].xpkg_dwords, numa_node0[i].xpkg_dwords});
+    }
+    table.Print("%12.1f");
+  }
+
+  // Lock sweep.
+  std::vector<Point> lk_mcs;
+  std::vector<Point> lk_ticket;
+  std::vector<Point> lk_tas;
+  for (int n : kCoreCounts) {
+    lk_mcs.push_back(MeasureLock(LockImpl::kMcs, n, lock_iters));
+    lk_ticket.push_back(MeasureLock(LockImpl::kTicket, n, lock_iters));
+    lk_tas.push_back(MeasureLock(LockImpl::kTas, n, lock_iters));
+  }
+  std::printf("\n--- lock acquire/release cost (%d per core) ---\n", lock_iters);
+  {
+    bench::SeriesTable table("cores");
+    table.AddSeries("mcs cyc");
+    table.AddSeries("ticket cyc");
+    table.AddSeries("tas cyc");
+    table.AddSeries("mcs xfer");
+    table.AddSeries("ticket xfer");
+    table.AddSeries("tas xfer");
+    for (std::size_t i = 0; i < lk_mcs.size(); ++i) {
+      table.AddRow(lk_mcs[i].cores,
+                   {lk_mcs[i].cycles, lk_ticket[i].cycles, lk_tas[i].cycles,
+                    lk_mcs[i].transfers, lk_ticket[i].transfers, lk_tas[i].transfers});
+    }
+    table.Print("%12.1f");
+  }
+
+  // MapReduce sweep: centralized and scalable per job, per core count.
+  WorkloadParams mr_params;
+  mr_params.size = quick ? 1 << 11 : 1 << 13;
+  mr_params.iterations = quick ? 1 : 2;
+  std::vector<std::pair<std::string, std::vector<MrPoint>>> mr;
+  for (const auto& w : apps::MapReduceWorkloads()) {
+    std::printf("\n--- MapReduce %s (size %lld, %d iterations) ---\n", w.name,
+                static_cast<long long>(mr_params.size), mr_params.iterations);
+    bench::SeriesTable table("cores");
+    table.AddSeries("centralized");
+    table.AddSeries("scalable");
+    table.AddSeries("cent/scal %");
+    std::vector<MrPoint> pts;
+    for (int n : kCoreCounts) {
+      MrPoint cent = MeasureMapReduce(w, n, SyncFlavor::kUserSpace, mr_params);
+      MrPoint scal = MeasureMapReduce(w, n, SyncFlavor::kScalable, mr_params);
+      table.AddRow(n, {cent.cycles, scal.cycles, 100.0 * cent.cycles / scal.cycles});
+      pts.push_back(cent);
+      pts.push_back(scal);
+    }
+    table.Print("%12.0f");
+    mr.emplace_back(w.name, std::move(pts));
+  }
+
+  // Shape gates.
+  std::vector<Gate> gates;
+  {
+    const double cent16 = At(bar_cent, 16, &Point::cycles);
+    const double tree16 = At(bar_tree, 16, &Point::cycles);
+    AddGate(gates, "barrier_tree_faster_at_16", tree16 < cent16,
+            Fmt("tree %.1f vs centralized %.1f cycles/episode", tree16, cent16));
+    const double cent_growth = cent16 / At(bar_cent, 4, &Point::cycles);
+    const double tree_growth = tree16 / At(bar_tree, 4, &Point::cycles);
+    AddGate(gates, "barrier_tree_sublinear_growth", tree_growth < cent_growth,
+            Fmt("4->16 cores growth: tree %.2fx vs centralized %.2fx", tree_growth,
+                cent_growth));
+    const double homed_xpkg = At(numa_homed, 8, &Point::xpkg_dwords);
+    const double node0_xpkg = At(numa_node0, 8, &Point::xpkg_dwords);
+    AddGate(gates, "barrier_tree_numa_homing", homed_xpkg < node0_xpkg,
+            Fmt("snoop-filter cross-package dwords/episode: homed %.1f vs node0 %.1f",
+                homed_xpkg, node0_xpkg));
+    const double mcs16 = At(lk_mcs, 16, &Point::cycles);
+    const double ticket16 = At(lk_ticket, 16, &Point::cycles);
+    AddGate(gates, "mcs_faster_than_ticket_at_16", mcs16 < ticket16,
+            Fmt("mcs %.1f vs ticket %.1f cycles/op", mcs16, ticket16));
+    const double mcs_xfer = At(lk_mcs, 16, &Point::transfers);
+    const double ticket_xfer = At(lk_ticket, 16, &Point::transfers);
+    AddGate(gates, "mcs_o1_handoff_transfers", mcs_xfer < ticket_xfer,
+            Fmt("line transfers/op: mcs %.2f vs ticket %.2f", mcs_xfer, ticket_xfer));
+  }
+  for (const auto& [name, pts] : mr) {
+    bool same = true;
+    for (const MrPoint& p : pts) {
+      if (p.checksum != pts.front().checksum) {
+        same = false;
+      }
+    }
+    AddGate(gates, name + "_checksum_flavor_invariant", same,
+            Fmt("checksum %.6f across all flavors and core counts",
+                pts.front().checksum, 0));
+  }
+
+  std::printf("\n--- gates ---\n");
+  bool all_pass = true;
+  for (const Gate& g : gates) {
+    std::printf("%-34s %s  (%s)\n", g.name.c_str(), g.pass ? "PASS" : "FAIL",
+                g.detail.c_str());
+    all_pass = all_pass && g.pass;
+  }
+
+  WriteJson(json_path, quick, bar_cent, bar_tree, numa_homed, numa_node0, lk_mcs,
+            lk_ticket, lk_tas, mr, gates);
+
+  std::printf(
+      "\nPaper shape: the centralized barrier's counter line serializes every\n"
+      "arrival and its release line invalidates every spinner (cost ~ cores);\n"
+      "the tournament tree resolves in ceil(log2 cores) rounds of pairwise,\n"
+      "NUMA-homed flags. The MCS lock hands off with O(1) transfers between\n"
+      "two cores where ticket/test-and-set storms scale with the waiter count.\n");
+  if (!all_pass) {
+    std::fprintf(stderr, "FAIL: scaling-shape gate violated\n");
+    return 1;
+  }
+  return 0;
+}

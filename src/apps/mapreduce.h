@@ -1,0 +1,38 @@
+// Metis-style MapReduce workloads (Mao et al., "Optimizing MapReduce for
+// multicore architectures"): map tasks write per-core intermediate buckets —
+// each homed on the mapper's own NUMA node, so the map phase is contention
+// free — and the reduce phase combines them pairwise up a binary combining
+// tree, the same shape as sync::TreeBarrier's tournament. Rounds are
+// separated by the team barrier, so under SyncFlavor::kScalable the whole
+// job (bucket homing, tree reduce, tree barrier) is NUMA-aware end to end,
+// while under the centralized flavors the identical algorithm pays the
+// central counter and reduce-line storms — the comparison
+// bench/sync_scaling.cc measures.
+//
+// Two jobs, both real computations on host data with checksums the tests
+// verify: word count over a Zipf-ish synthetic corpus, and a value histogram
+// (the Metis "hist" kernel).
+#ifndef MK_APPS_MAPREDUCE_H_
+#define MK_APPS_MAPREDUCE_H_
+
+#include "apps/workloads.h"
+
+namespace mk::apps {
+
+// Word count: map counts word ids from the thread's corpus chunk into its
+// per-core bucket; reduce merges buckets up the combining tree. Checksum:
+// position-weighted sum of the final global counts.
+Task<WorkloadResult> RunWordCount(proc::OmpRuntime& omp, WorkloadParams params);
+
+// Histogram: 256 bins over synthetic doubles in [0,1); same bucket/reduce
+// structure as word count with a smaller intermediate. Checksum mixes bin
+// populations with bin indices.
+Task<WorkloadResult> RunHistogram(proc::OmpRuntime& omp, WorkloadParams params);
+
+// Separate from AllWorkloads(): the Figure 9 table and its goldens are
+// pinned at the five NAS/SPLASH kernels.
+const std::vector<WorkloadEntry>& MapReduceWorkloads();
+
+}  // namespace mk::apps
+
+#endif  // MK_APPS_MAPREDUCE_H_

@@ -6,7 +6,13 @@ OmpRuntime::OmpRuntime(hw::Machine& machine, std::vector<int> cores, SyncFlavor 
     : machine_(machine),
       flavor_(flavor),
       team_(machine, std::move(cores)),
-      barrier_(machine, team_.size(), flavor) {
+      barrier_(machine, team_.size(), flavor, 0, team_.cores()) {
+  if (flavor_ == SyncFlavor::kScalable) {
+    for (int p = 0; p < machine_.topo().num_packages(); ++p) {
+      package_reduce_lines_.push_back(machine_.mem().AllocLines(p, 1));
+    }
+    return;
+  }
   reduce_line_ = machine_.mem().AllocLines(0, 1);
 }
 
@@ -40,6 +46,13 @@ Task<> OmpRuntime::ParallelFor(std::int64_t n, const ForBody& body) {
 }
 
 Task<> OmpRuntime::ReduceContribution(int core) {
+  if (flavor_ == SyncFlavor::kScalable) {
+    // Combine into the caller's package-local partial line; cross-package
+    // combining rides the barrier's tournament tree.
+    const auto pkg = static_cast<std::size_t>(machine_.topo().PackageOf(core));
+    co_await machine_.mem().Write(core, package_reduce_lines_[pkg]);
+    co_return;
+  }
   co_await machine_.mem().Write(core, reduce_line_);
 }
 

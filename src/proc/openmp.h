@@ -46,7 +46,10 @@ class OmpRuntime {
   Task<> ParallelFor(std::int64_t n, const ForBody& body);
 
   // A reduction combines per-thread partials through a shared cache line
-  // (each contribution is a coherent write) followed by a barrier.
+  // (each contribution is a coherent write) followed by a barrier. Under
+  // kScalable the partials instead combine through per-package lines (each
+  // homed on its own package), so contributions from different packages never
+  // contend on one line — the combining-tree reduce feeding the TreeBarrier.
   Task<> ReduceContribution(int core);
 
  private:
@@ -54,7 +57,8 @@ class OmpRuntime {
   SyncFlavor flavor_;
   ThreadTeam team_;
   Barrier barrier_;
-  sim::Addr reduce_line_;
+  sim::Addr reduce_line_ = 0;
+  std::vector<sim::Addr> package_reduce_lines_;  // kScalable only, by package
 };
 
 }  // namespace mk::proc

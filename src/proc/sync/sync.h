@@ -1,0 +1,27 @@
+// src/proc/sync — the scalable synchronization library (ROADMAP item 4).
+//
+// Three primitives over the simulated coherent memory, chosen so the
+// coherence model exposes exactly the scaling differences the
+// scalable-synchronization literature is about:
+//
+//   McsLock     — queue lock, local spinning, O(1) line transfers per
+//                 handoff between a fixed pair of cores (mcs_lock.h);
+//   TicketLock  — FIFO like MCS but with a central spin line: O(waiters)
+//                 transfers per handoff, the measured baseline
+//                 (ticket_lock.h);
+//   TreeBarrier — tournament/combining-tree barrier, log-depth critical
+//                 path, every flag line homed on the NUMA node of the core
+//                 that spins on it (tree_barrier.h).
+//
+// proc::Mutex and proc::Barrier (proc/threads.h) select these behind
+// SyncFlavor::kScalable, so OmpRuntime teams — and every Figure 9 workload —
+// run unchanged over either implementation. bench/sync_scaling.cc measures
+// the crossover; DESIGN.md §14 explains the memory layout.
+#ifndef MK_PROC_SYNC_SYNC_H_
+#define MK_PROC_SYNC_SYNC_H_
+
+#include "proc/sync/mcs_lock.h"
+#include "proc/sync/ticket_lock.h"
+#include "proc/sync/tree_barrier.h"
+
+#endif  // MK_PROC_SYNC_SYNC_H_

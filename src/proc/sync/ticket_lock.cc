@@ -1,0 +1,36 @@
+#include "proc/sync/ticket_lock.h"
+
+namespace mk::proc::sync {
+
+TicketLock::TicketLock(hw::Machine& machine, int home_node)
+    : machine_(machine), serving_changed_(machine.exec()) {
+  next_line_ = machine_.mem().AllocLines(home_node, 1);
+  serving_line_ = machine_.mem().AllocLines(home_node, 1);
+}
+
+sim::Task<> TicketLock::Acquire(int core) {
+  // fetch_add on the ticket line: the ticket is taken when the RMW completes
+  // (contenders serialize through the line's FIFO resource).
+  co_await machine_.mem().Write(core, next_line_);
+  const std::uint64_t my = next_ticket_++;
+  // First comparison against now-serving.
+  co_await machine_.mem().Read(core, serving_line_);
+  while (now_serving_ != my) {
+    ++waiters_;
+    co_await serving_changed_.Wait();
+    --waiters_;
+    // Every release invalidates every spinner's copy of the serving line;
+    // each of them refetches to compare — the O(waiters) storm per handoff.
+    co_await machine_.mem().Read(core, serving_line_);
+  }
+  holder_ = core;
+}
+
+sim::Task<> TicketLock::Release(int core) {
+  ++now_serving_;
+  holder_ = -1;
+  co_await machine_.mem().Write(core, serving_line_);
+  serving_changed_.Signal();
+}
+
+}  // namespace mk::proc::sync

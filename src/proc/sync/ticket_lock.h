@@ -1,0 +1,48 @@
+// Ticket lock: FIFO like MCS, but all waiters spin on one central
+// now-serving line — the measured baseline of the sync_scaling bench.
+//
+// Acquire is a fetch-and-add on the next-ticket line; each release
+// increments the now-serving line, invalidating every spinner's copy, and
+// every spinner refetches it to compare against its ticket. Per handoff
+// that is O(waiters) cache-line transfers, all serialized through the same
+// hot line's service queue — the coherence storm the MCS lock's local
+// spinning eliminates (the FIFO ordering is identical, which is what makes
+// the pair a controlled comparison).
+#ifndef MK_PROC_SYNC_TICKET_LOCK_H_
+#define MK_PROC_SYNC_TICKET_LOCK_H_
+
+#include <cstdint>
+
+#include "hw/machine.h"
+#include "sim/event.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::proc::sync {
+
+class TicketLock {
+ public:
+  explicit TicketLock(hw::Machine& machine, int home_node = 0);
+
+  sim::Task<> Acquire(int core);
+  sim::Task<> Release(int core);
+
+  bool locked() const { return holder_ >= 0; }
+  int holder() const { return holder_; }
+  int waiters() const { return waiters_; }
+  std::uint64_t tickets_issued() const { return next_ticket_; }
+
+ private:
+  hw::Machine& machine_;
+  sim::Addr next_line_;     // fetch-and-add target
+  sim::Addr serving_line_;  // the central spin line
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t now_serving_ = 0;
+  int holder_ = -1;
+  int waiters_ = 0;
+  sim::Event serving_changed_;
+};
+
+}  // namespace mk::proc::sync
+
+#endif  // MK_PROC_SYNC_TICKET_LOCK_H_

@@ -1,0 +1,124 @@
+#include "proc/sync/tree_barrier.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mk::proc::sync {
+
+namespace {
+
+int CeilLog2(int n) {
+  int r = 0;
+  while ((1 << r) < n) {
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace
+
+TreeBarrier::TreeBarrier(hw::Machine& machine, int parties, std::vector<int> cores,
+                         int force_home)
+    : machine_(machine),
+      parties_(parties),
+      rounds_(CeilLog2(parties)),
+      cores_(std::move(cores)),
+      party_gen_(static_cast<std::size_t>(parties), 0) {
+  if (cores_.empty()) {
+    for (int i = 0; i < parties_; ++i) {
+      cores_.push_back(i);
+    }
+  }
+  // One MatchNode per (winner, round) slot. Only slots whose opponent exists
+  // get lines; the flag a core spins on is homed on that core's package.
+  auto home_of = [&](int party) {
+    return force_home >= 0
+               ? force_home
+               : machine_.topo().PackageOf(cores_[static_cast<std::size_t>(party)]);
+  };
+  for (int i = 0; i < parties_; ++i) {
+    for (int r = 0; r < rounds_; ++r) {
+      nodes_.emplace_back(machine_.exec());
+      const int span = 1 << r;
+      const bool winner_slot = i % (span << 1) == 0;
+      const int loser = i + span;
+      if (winner_slot && loser < parties_) {
+        MatchNode& n = nodes_.back();
+        n.arrive_line = machine_.mem().AllocLines(home_of(i), 1);
+        n.wake_line = machine_.mem().AllocLines(home_of(loser), 1);
+      }
+    }
+  }
+}
+
+int TreeBarrier::PartyOfCore(int core) const {
+  for (int i = 0; i < parties_; ++i) {
+    if (cores_[static_cast<std::size_t>(i)] == core) {
+      return i;
+    }
+  }
+  std::fprintf(stderr, "TreeBarrier: core %d is not in the team\n", core);
+  std::abort();
+}
+
+sim::Task<> TreeBarrier::Arrive(int party) {
+  const int core = cores_[static_cast<std::size_t>(party)];
+  const std::uint64_t target = ++party_gen_[static_cast<std::size_t>(party)];
+  ++in_barrier_;
+
+  // Ascend: play each round until losing (or, for party 0, winning them all).
+  int loss_round = rounds_;
+  for (int r = 0; r < rounds_; ++r) {
+    const int span = 1 << r;
+    if (party % (span << 1) == 0) {
+      const int loser = party + span;
+      if (loser >= parties_) {
+        continue;  // bye: no opponent this round, advance for free
+      }
+      MatchNode& n = NodeOf(party, r);
+      while (n.arrived_gen < target) {
+        co_await n.arrived.Wait();
+      }
+      // The loser's flag write invalidated our copy; the local spin loop's
+      // next read misses and refetches it from the loser's cache.
+      co_await machine_.mem().Read(core, n.arrive_line);
+    } else {
+      // Loser: report to the winner and stop ascending.
+      const int winner = party - span;
+      MatchNode& n = NodeOf(winner, r);
+      co_await machine_.mem().Write(core, n.arrive_line);
+      n.arrived_gen = target;  // ordered after the write: visibility == completion
+      n.arrived.Signal();
+      loss_round = r;
+      break;
+    }
+  }
+
+  if (loss_round < rounds_) {
+    // Wait for the wakeup wave to reach our losing match.
+    MatchNode& n = NodeOf(party - (1 << loss_round), loss_round);
+    while (n.woken_gen < target) {
+      co_await n.woken.Wait();
+    }
+    co_await machine_.mem().Read(core, n.wake_line);
+  } else if (party == 0) {
+    ++generation_;  // champion: everyone has arrived
+  }
+
+  // Descend: wake the losers of every match we won below our loss round.
+  for (int r = loss_round - 1; r >= 0; --r) {
+    const int span = 1 << r;
+    const int loser = party + span;
+    if (loser >= parties_) {
+      continue;
+    }
+    MatchNode& n = NodeOf(party, r);
+    co_await machine_.mem().Write(core, n.wake_line);
+    n.woken_gen = target;
+    n.woken.Signal();
+  }
+
+  --in_barrier_;
+}
+
+}  // namespace mk::proc::sync

@@ -1,0 +1,91 @@
+// Tournament / combining-tree barrier (scalable-synchronization literature,
+// Mellor-Crummey & Scott style), the log-depth replacement for the
+// centralized sense-reversing proc::Barrier.
+//
+// Structure: parties are leaves of a binary tournament. At round r, party i
+// is a *winner* if i % 2^(r+1) == 0; its opponent (the *loser*) is
+// j = i + 2^r. The loser reports its arrival by writing a flag line owned by
+// the winner and then blocks; the winner spins on that flag — a line homed on
+// the winner's own NUMA node, so the spin is local and the only coherence
+// traffic per arrival edge is the loser's ownership grab plus the winner's
+// refetch: O(1) line transfers between a *fixed pair* of cores, instead of
+// every arriving core hammering one central counter line. Wakeup descends a
+// mirror tree of per-loser flag lines (each homed on the loser's node).
+// Parties with no opponent at a round (non-power-of-two sizes) advance by a
+// bye, touching nothing.
+//
+// The critical path is ceil(log2(P)) arrival hops plus the same number of
+// wakeup hops; the centralized barrier's is P serialized read-modify-writes
+// of one line plus a P-way invalidation storm on the release line
+// (bench/sync_scaling.cc measures exactly this difference).
+#ifndef MK_PROC_SYNC_TREE_BARRIER_H_
+#define MK_PROC_SYNC_TREE_BARRIER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "hw/machine.h"
+#include "sim/event.h"
+#include "sim/task.h"
+#include "sim/types.h"
+
+namespace mk::proc::sync {
+
+class TreeBarrier {
+ public:
+  // `cores[i]` is the core party i arrives on; every flag line a party spins
+  // on is homed on that core's package (the NUMA homing rule). An empty
+  // vector means party i runs on core i. `force_home` >= 0 overrides the
+  // homing rule and places every flag line on that node instead — the
+  // ablation bench/sync_scaling.cc uses to price the rule.
+  TreeBarrier(hw::Machine& machine, int parties, std::vector<int> cores = {},
+              int force_home = -1);
+
+  // Blocks party `party` until all parties of the current episode arrived.
+  // Reusable across episodes (generation counters, no reset hazard).
+  sim::Task<> Arrive(int party);
+
+  // Maps a core id back to its party index, for callers (the flavored
+  // proc::Barrier facade) that identify themselves by core. Aborts if the
+  // core is not part of the team.
+  int PartyOfCore(int core) const;
+
+  int parties() const { return parties_; }
+  int rounds() const { return rounds_; }
+  std::uint64_t generation() const { return generation_; }
+  // True when no party is inside Arrive — the stress-test invariant that no
+  // waiter was lost (a stuck waiter keeps this false forever).
+  bool idle() const { return in_barrier_ == 0; }
+
+ private:
+  // Per (winner, round) match state. The arrive flag lives on the winner's
+  // node (the winner spins on it); the wake flag lives on the loser's node.
+  struct MatchNode {
+    MatchNode(sim::Executor& exec) : arrived(exec), woken(exec) {}
+    sim::Addr arrive_line = 0;
+    sim::Addr wake_line = 0;
+    std::uint64_t arrived_gen = 0;
+    std::uint64_t woken_gen = 0;
+    sim::Event arrived;
+    sim::Event woken;
+  };
+
+  MatchNode& NodeOf(int winner, int round) {
+    return nodes_[static_cast<std::size_t>(winner) * static_cast<std::size_t>(rounds_) +
+                  static_cast<std::size_t>(round)];
+  }
+
+  hw::Machine& machine_;
+  int parties_;
+  int rounds_;
+  std::vector<int> cores_;             // party -> core
+  std::deque<MatchNode> nodes_;        // [winner * rounds_ + round]; deque: not movable
+  std::vector<std::uint64_t> party_gen_;  // episodes entered, per party
+  std::uint64_t generation_ = 0;       // episodes completed
+  int in_barrier_ = 0;
+};
+
+}  // namespace mk::proc::sync
+
+#endif  // MK_PROC_SYNC_TREE_BARRIER_H_

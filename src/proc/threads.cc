@@ -1,14 +1,28 @@
 #include "proc/threads.h"
 
+#include "proc/sync/mcs_lock.h"
+#include "proc/sync/tree_barrier.h"
+
 namespace mk::proc {
 
-Barrier::Barrier(hw::Machine& machine, int parties, SyncFlavor flavor, int home_node)
+Barrier::Barrier(hw::Machine& machine, int parties, SyncFlavor flavor, int home_node,
+                 std::vector<int> cores)
     : machine_(machine), parties_(parties), flavor_(flavor), release_(machine.exec()) {
+  if (flavor_ == SyncFlavor::kScalable) {
+    tree_ = std::make_unique<sync::TreeBarrier>(machine_, parties_, std::move(cores));
+    return;  // no centralized lines: the tree owns all barrier state
+  }
   count_line_ = machine_.mem().AllocLines(home_node, 1);
   release_line_ = machine_.mem().AllocLines(home_node, 1);
 }
 
+Barrier::~Barrier() = default;
+
 Task<> Barrier::Arrive(int core) {
+  if (tree_) {
+    co_await tree_->Arrive(tree_->PartyOfCore(core));
+    co_return;
+  }
   // Atomic increment of the arrival counter: a coherent read-modify-write on
   // a line every arriving core touches (the contention point).
   co_await machine_.mem().Write(core, count_line_);
@@ -45,10 +59,22 @@ Task<> Barrier::Arrive(int core) {
 
 Mutex::Mutex(hw::Machine& machine, SyncFlavor flavor, int home_node)
     : machine_(machine), flavor_(flavor), available_(machine.exec()) {
+  if (flavor_ == SyncFlavor::kScalable) {
+    mcs_ = std::make_unique<sync::McsLock>(machine_);
+    return;  // the MCS queue owns all lock state; no central test-and-set line
+  }
   line_ = machine_.mem().AllocLines(home_node, 1);
 }
 
+Mutex::~Mutex() = default;
+
+bool Mutex::locked() const { return mcs_ ? mcs_->locked() : locked_; }
+
 Task<> Mutex::Lock(int core) {
+  if (mcs_) {
+    co_await mcs_->Acquire(core);
+    co_return;
+  }
   while (true) {
     // Test-and-set: a coherent write on the lock line.
     co_await machine_.mem().Write(core, line_);
@@ -72,6 +98,10 @@ Task<> Mutex::Lock(int core) {
 }
 
 Task<> Mutex::Unlock(int core) {
+  if (mcs_) {
+    co_await mcs_->Release(core);
+    co_return;
+  }
   locked_ = false;
   co_await machine_.mem().Write(core, line_);
   if (waiters_ > 0) {

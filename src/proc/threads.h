@@ -8,9 +8,12 @@
 //   * the Barrelfish user-space primitives (spin on coherent cache lines,
 //     block in the user-level scheduler) — no kernel involvement;
 //   * "kernel" (futex-style) primitives as in Linux/GOMP, where contended
-//     paths cross the kernel boundary (system call + scheduler wakeups).
+//     paths cross the kernel boundary (system call + scheduler wakeups);
+//   * the scalable library (src/proc/sync/): MCS queue locks and
+//     tournament/combining-tree barriers with local spinning on NUMA-homed
+//     lines, replacing the centralized primitives' coherence storms.
 //
-// Both operate on the simulated coherent memory, so their scaling behavior
+// All operate on the simulated coherent memory, so their scaling behavior
 // (counter-line contention, wake-up costs) emerges from the machine model.
 #ifndef MK_PROC_THREADS_H_
 #define MK_PROC_THREADS_H_
@@ -18,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "hw/machine.h"
@@ -27,6 +31,11 @@
 
 namespace mk::proc {
 
+namespace sync {
+class McsLock;
+class TreeBarrier;
+}  // namespace sync
+
 using sim::Addr;
 using sim::Cycles;
 using sim::Task;
@@ -34,17 +43,25 @@ using sim::Task;
 enum class SyncFlavor {
   kUserSpace,  // Barrelfish library: coherent-line spin + user-level block
   kKernel,     // futex-style: syscall on the contended path
+  kScalable,   // MCS queue lock + tournament/combining-tree barrier
 };
 
-// Sense-reversing centralized barrier.
+// Barrier facade, dispatching on the flavor chosen at construction:
+// centralized sense-reversing counter (kUserSpace/kKernel, the original code
+// paths, untouched) or the tournament tree (kScalable). `cores[i]` names the
+// core party i arrives on — required for the tree's NUMA homing; empty means
+// party i == core i. The centralized flavors ignore it.
 class Barrier {
  public:
-  Barrier(hw::Machine& machine, int parties, SyncFlavor flavor, int home_node = 0);
+  Barrier(hw::Machine& machine, int parties, SyncFlavor flavor, int home_node = 0,
+          std::vector<int> cores = {});
+  ~Barrier();
 
   // Blocks the calling thread (running on `core`) until all parties arrive.
   Task<> Arrive(int core);
 
   int parties() const { return parties_; }
+  SyncFlavor flavor() const { return flavor_; }
 
  private:
   hw::Machine& machine_;
@@ -55,16 +72,21 @@ class Barrier {
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
   sim::Event release_;
+  std::unique_ptr<sync::TreeBarrier> tree_;  // kScalable only
 };
 
-// Mutex with a test-and-set fast path on a coherent line.
+// Mutex facade: test-and-set fast path on a coherent line (kUserSpace),
+// futex-style syscalls on contention (kKernel), or the MCS queue lock
+// (kScalable).
 class Mutex {
  public:
   Mutex(hw::Machine& machine, SyncFlavor flavor, int home_node = 0);
+  ~Mutex();
 
   Task<> Lock(int core);
   Task<> Unlock(int core);
-  bool locked() const { return locked_; }
+  bool locked() const;
+  SyncFlavor flavor() const { return flavor_; }
 
  private:
   hw::Machine& machine_;
@@ -73,6 +95,7 @@ class Mutex {
   bool locked_ = false;
   int waiters_ = 0;
   sim::Event available_;
+  std::unique_ptr<sync::McsLock> mcs_;  // kScalable only
 };
 
 // A team of worker threads, one pinned to each given core (the typical
@@ -86,6 +109,7 @@ class ThreadTeam {
 
   int size() const { return static_cast<int>(cores_.size()); }
   int core_of(int tid) const { return cores_[static_cast<std::size_t>(tid)]; }
+  const std::vector<int>& cores() const { return cores_; }
   hw::Machine& machine() { return machine_; }
 
   // Forks size() threads running `body` and joins them.

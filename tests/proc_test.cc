@@ -78,6 +78,31 @@ TEST(Barrier, KernelFlavorCostsMoreThanUserSpace) {
   EXPECT_LT(measure(SyncFlavor::kUserSpace), measure(SyncFlavor::kKernel));
 }
 
+TEST(Barrier, CentralizedReleaseInvalidatesEveryWaiter) {
+  // Pins the centralized count/release-line behavior the tree barrier is
+  // built to avoid: every arrival is a coherent RMW on one counter line and
+  // every release re-fetches one sense line, so misses grow with parties.
+  auto misses = [](int parties) {
+    Fixture f;
+    Barrier barrier(f.machine, parties, SyncFlavor::kUserSpace);
+    for (int c = 0; c < parties; ++c) {
+      f.exec.Spawn([](Barrier& b, int core) -> Task<> {
+        for (int e = 0; e < 4; ++e) {
+          co_await b.Arrive(core);
+        }
+      }(barrier, c));
+    }
+    f.exec.Run();
+    const hw::CoreCounters total = f.machine.counters().Total();
+    return total.c2c_transfers + total.dram_fetches;
+  };
+  const std::uint64_t at4 = misses(4);
+  const std::uint64_t at8 = misses(8);
+  const std::uint64_t at16 = misses(16);
+  EXPECT_GT(at8, at4);
+  EXPECT_GT(at16, at8);
+}
+
 TEST(Mutex, ProvidesMutualExclusion) {
   Fixture f;
   Mutex mutex(f.machine, SyncFlavor::kUserSpace);
@@ -102,6 +127,30 @@ TEST(Mutex, ProvidesMutualExclusion) {
   EXPECT_EQ(max_in_critical, 1);
   EXPECT_EQ(total, 40);
   EXPECT_FALSE(mutex.locked());
+}
+
+TEST(Mutex, UserSpaceHandoffIsFifoWhenAllQueued) {
+  // Pins the centralized wake discipline: available_ is signaled one waiter
+  // at a time in wait order, so when every contender queues before the first
+  // release, the lock hands off in arrival order. The scalable MCS lock
+  // guarantees the same order by construction (tests/sync_test.cc).
+  Fixture f;
+  Mutex mutex(f.machine, SyncFlavor::kUserSpace);
+  std::vector<int> order;
+  for (int c = 0; c < 6; ++c) {
+    f.exec.Spawn([](hw::Machine& m, Mutex& mu, int core, std::vector<int>& out) -> Task<> {
+      co_await m.exec().Delay(static_cast<Cycles>(core) * 5000);
+      co_await mu.Lock(core);
+      out.push_back(core);
+      co_await m.Compute(core, core == 0 ? 100000 : 300);
+      co_await mu.Unlock(core);
+    }(f.machine, mutex, c, order));
+  }
+  f.exec.Run();
+  ASSERT_EQ(order.size(), 6u);
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_EQ(order[static_cast<std::size_t>(c)], c);
+  }
 }
 
 TEST(Mutex, KernelFlavorChargesSyscalls) {
@@ -208,6 +257,26 @@ TEST(Omp, ReductionContentionGrowsWithThreads) {
   };
   // The shared reduction line serializes contributions.
   EXPECT_GT(measure(16), measure(2));
+}
+
+TEST(Omp, ScalableFlavorCheapensReductionAtSixteenThreads) {
+  // The kScalable runtime spreads contributions over one reduce line per
+  // package instead of one machine-wide line, and replaces the centralized
+  // barrier with the tournament tree; at 16 threads the combined
+  // reduce-then-barrier phase must be cheaper.
+  auto measure = [](SyncFlavor flavor) {
+    Fixture f;
+    OmpRuntime omp(f.machine, FirstCores(16), flavor);
+    f.exec.Spawn([](OmpRuntime& o) -> Task<> {
+      for (int e = 0; e < 4; ++e) {
+        co_await o.Parallel([&o](int, int core) -> Task<> {
+          co_await o.ReduceContribution(core);
+        });
+      }
+    }(omp));
+    return f.exec.Run();
+  };
+  EXPECT_LT(measure(SyncFlavor::kScalable), measure(SyncFlavor::kUserSpace));
 }
 
 }  // namespace

@@ -4,11 +4,13 @@
 
 #include <vector>
 
+#include "apps/mapreduce.h"
 #include "apps/workloads.h"
 #include "hw/machine.h"
 #include "hw/platform.h"
 #include "proc/openmp.h"
 #include "sim/executor.h"
+#include "sim/random.h"
 
 namespace mk::apps {
 namespace {
@@ -132,6 +134,77 @@ TEST(Workloads, MoreThreadsNeverIncreaseComputePhaseWork) {
 
 TEST(Workloads, TableHasAllFiveEntries) {
   EXPECT_EQ(AllWorkloads().size(), 5u);
+}
+
+// --- MapReduce (Metis-style word count / histogram) ------------------------
+
+TEST(MapReduce, WordCountChecksumMatchesHostReference) {
+  // Recompute the corpus with the same Rng stream and count serially on the
+  // host; the simulated map + combining-tree reduce must agree exactly
+  // (integer counts, no FP reassociation in play).
+  WorkloadParams p = SmallParams();
+  std::vector<std::int64_t> counts(1024, 0);
+  sim::Rng rng(p.seed);
+  for (std::int64_t i = 0; i < p.size; ++i) {
+    ++counts[static_cast<std::size_t>(std::min(rng.Below(1024), rng.Below(1024)))];
+  }
+  double expected = 0;
+  for (std::size_t w = 0; w < counts.size(); ++w) {
+    expected += static_cast<double>(counts[w]) * static_cast<double>(w % 97 + 1);
+  }
+  EXPECT_EQ(RunWorkload(RunWordCount, 4, SyncFlavor::kUserSpace, p).checksum, expected);
+}
+
+TEST(MapReduce, HistogramChecksumMatchesHostReference) {
+  WorkloadParams p = SmallParams();
+  std::vector<std::int64_t> bins(256, 0);
+  sim::Rng rng(p.seed);
+  for (std::int64_t i = 0; i < p.size; ++i) {
+    auto b = static_cast<std::int64_t>(rng.NextDouble() * 256.0);
+    ++bins[static_cast<std::size_t>(std::min<std::int64_t>(b, 255))];
+  }
+  double expected = 0;
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    expected += static_cast<double>(bins[b]) * static_cast<double>(b + 1);
+  }
+  EXPECT_EQ(RunWorkload(RunHistogram, 4, SyncFlavor::kUserSpace, p).checksum, expected);
+}
+
+TEST(MapReduce, ChecksumInvariantAcrossThreadsAndFlavors) {
+  // Integer counts: the partition of the corpus over threads and the choice
+  // of barrier/lock implementation must not change the answer by even a bit.
+  // Thread counts 3 and 5 exercise the byes in the non-power-of-two reduce
+  // tree and (under kScalable) the tournament barrier.
+  for (auto& entry : MapReduceWorkloads()) {
+    double reference =
+        RunWorkload(entry.run, 1, SyncFlavor::kUserSpace, SmallParams()).checksum;
+    for (int threads : {2, 3, 5, 8, 16}) {
+      for (SyncFlavor flavor :
+           {SyncFlavor::kUserSpace, SyncFlavor::kKernel, SyncFlavor::kScalable}) {
+        double got = RunWorkload(entry.run, threads, flavor, SmallParams()).checksum;
+        EXPECT_EQ(got, reference)
+            << entry.name << " threads=" << threads
+            << " flavor=" << static_cast<int>(flavor);
+      }
+    }
+  }
+}
+
+TEST(MapReduce, MoreThreadsShortenTheMapPhase) {
+  // Needs a corpus big enough that the O(n/threads) map phase dominates the
+  // fixed per-iteration reduce cost (bucket flush + tree merge + barriers).
+  WorkloadParams p = SmallParams();
+  p.size = 1 << 14;
+  for (auto& entry : MapReduceWorkloads()) {
+    auto t1 = RunWorkload(entry.run, 1, SyncFlavor::kUserSpace, p).cycles;
+    auto t8 = RunWorkload(entry.run, 8, SyncFlavor::kUserSpace, p).cycles;
+    EXPECT_LT(t8, t1) << entry.name;
+  }
+}
+
+TEST(MapReduce, TableHasBothJobsAndLeavesFigureNineTableAlone) {
+  EXPECT_EQ(MapReduceWorkloads().size(), 2u);
+  EXPECT_EQ(AllWorkloads().size(), 5u);  // Figure 9 table stays pinned at five
 }
 
 }  // namespace
