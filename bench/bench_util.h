@@ -197,6 +197,48 @@ class SeriesTable {
   std::vector<Row> rows_;
 };
 
+// Open-loop load shapes for arrival-rate schedules: given a phase position,
+// return the instantaneous offered rate as a fraction of the shape's peak in
+// parts-per-1024. Pure integer arithmetic (no libm) so every platform and
+// thread count computes bit-identical schedules.
+//   kSteady  — flat at peak.
+//   kBursty  — square wave: peak for the first third of each period, 1/4
+//              peak for the rest (connection churn storms arrive like this).
+//   kDiurnal — triangle wave approximating a day's ramp-up/ramp-down.
+enum class LoadShape { kSteady, kBursty, kDiurnal };
+
+inline const char* LoadShapeName(LoadShape s) {
+  switch (s) {
+    case LoadShape::kSteady: return "steady";
+    case LoadShape::kBursty: return "bursty";
+    case LoadShape::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+// `pos` and `period` are in any consistent unit (cycles, slots); the result
+// is in [0, 1024] with 1024 = peak rate.
+inline std::uint64_t LoadShapeLevel(LoadShape shape, std::uint64_t pos,
+                                    std::uint64_t period) {
+  if (period == 0) {
+    return 1024;
+  }
+  std::uint64_t p = pos % period;
+  switch (shape) {
+    case LoadShape::kSteady:
+      return 1024;
+    case LoadShape::kBursty:
+      return p < period / 3 ? 1024 : 256;
+    case LoadShape::kDiurnal: {
+      // Triangle: 0 at the period edges, 1024 at the midpoint.
+      std::uint64_t half = period / 2;
+      std::uint64_t up = p <= half ? p : period - p;
+      return half == 0 ? 1024 : (up * 1024) / half;
+    }
+  }
+  return 1024;
+}
+
 // Paper-vs-measured comparison rows for tables.
 inline void PrintCompareHeader(const char* label) {
   std::printf("%-34s %12s %12s %9s\n", label, "paper", "measured", "ratio");

@@ -46,6 +46,7 @@ BENCHES=(
   rack_serving
   polling_model
   ablation_urpc
+  conn_scale
 )
 
 update=0

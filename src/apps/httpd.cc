@@ -46,6 +46,57 @@ std::string RenderHttpResponse(const HttpResponse& resp) {
   return oss.str();
 }
 
+std::string RenderHttpResponse11(const HttpResponse& resp, bool keep_alive) {
+  std::ostringstream oss;
+  oss << "HTTP/1.1 " << resp.status << (resp.status == 200 ? " OK" : " Error") << "\r\n"
+      << "Content-Type: " << resp.content_type << "\r\n"
+      << "Content-Length: " << resp.body.size() << "\r\n"
+      << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n\r\n"
+      << resp.body;
+  return oss.str();
+}
+
+void HttpRequestFramer::Append(const std::uint8_t* data, std::size_t len) {
+  if (overflowed_ || len == 0) {
+    return;
+  }
+  buf_.append(reinterpret_cast<const char*>(data), len);
+  if (next_end_ == std::string::npos) {
+    Rescan(scan_from_);
+  }
+  if (next_end_ == std::string::npos && buf_.size() > kMaxRequestBytes) {
+    overflowed_ = true;
+  }
+}
+
+void HttpRequestFramer::Rescan(std::size_t from) {
+  // The terminator may straddle the previous chunk's tail: back up by up to
+  // three bytes so a split "\r\n\r\n" is still found exactly once.
+  std::size_t start = from > 3 ? from - 3 : 0;
+  std::size_t pos = buf_.find("\r\n\r\n", start);
+  if (pos == std::string::npos) {
+    next_end_ = std::string::npos;
+    scan_from_ = buf_.size();
+  } else {
+    next_end_ = pos + 4;
+  }
+}
+
+bool HttpRequestFramer::PopRequest(std::string* out) {
+  if (next_end_ == std::string::npos) {
+    return false;
+  }
+  out->assign(buf_, 0, next_end_);
+  buf_.erase(0, next_end_);
+  scan_from_ = 0;
+  Rescan(0);
+  // A pipelined remainder must respect the cap on its own.
+  if (next_end_ == std::string::npos && buf_.size() > kMaxRequestBytes) {
+    overflowed_ = true;
+  }
+  return true;
+}
+
 std::string StaticIndexPage() {
   // ~4.1 KB, matching the paper's static page size.
   std::string body =
@@ -141,6 +192,10 @@ Task<HttpResponse> HttpServer::Handle(const HttpRequest& req) {
 }
 
 Task<> HttpServer::ServeConnection(net::NetStack::TcpConn* conn) {
+  if (keep_.enabled) {
+    co_await ServeConnectionKeepAlive(conn);
+    co_return;
+  }
   std::string request_text;
   while (true) {
     std::vector<std::uint8_t> chunk = co_await conn->Read();
@@ -171,14 +226,135 @@ Task<> HttpServer::ServeConnection(net::NetStack::TcpConn* conn) {
   }
   co_await stack_.TcpSend(*conn, RenderHttpResponse(resp));
   co_await stack_.TcpClose(*conn);
+  stack_.Release(conn);  // no-op in legacy mode; reap-enabling in lifecycle
+}
+
+Task<> HttpServer::ServeConnectionKeepAlive(net::NetStack::TcpConn* conn) {
+  HttpRequestFramer framer;
+  int served_on_conn = 0;
+  Cycles request_start = 0;
+  bool open = true;
+  while (open) {
+    // Accumulate bytes until a complete request, a deadline, or a close.
+    while (!framer.HasRequest() && !framer.overflowed()) {
+      Cycles wait = 0;
+      if (framer.buffered() == 0) {
+        wait = keep_.idle_timeout;
+      } else if (keep_.header_deadline > 0) {
+        // The slowloris budget is total-per-request, measured from the
+        // request's first byte — a one-byte-per-interval trickler exhausts
+        // it no matter how it paces.
+        Cycles elapsed = machine_.exec().now() - request_start;
+        wait = elapsed >= keep_.header_deadline ? 1 : keep_.header_deadline - elapsed;
+      }
+      bool ok = co_await stack_.WaitReadable(*conn, wait);
+      if (ServingCoreHalted(machine_, stack_.core())) {
+        co_return;  // fail-stop: the handler dies with its core
+      }
+      if (!ok) {
+        if (framer.buffered() == 0) {
+          ++idle_closes_;  // idle keep-alive connection: close quietly
+          trace::Emit<trace::Category::kConn>(trace::EventId::kConnTimeout,
+                                              machine_.exec().now(), stack_.core(),
+                                              /*kind=*/1);
+          open = false;
+          break;
+        }
+        // Slowloris: bytes trickled in but the request never completed
+        // within its budget. Answer 408 and count it as a shed so the
+        // admission layer's books include defended connections.
+        ++shed_progress_;
+        trace::Emit<trace::Category::kRecover>(trace::EventId::kRecoverShed,
+                                               machine_.exec().now(), stack_.core(),
+                                               /*cause=*/2);
+        trace::Emit<trace::Category::kConn>(trace::EventId::kConnTimeout,
+                                            machine_.exec().now(), stack_.core(),
+                                            /*kind=*/2);
+        HttpResponse resp;
+        resp.status = 408;
+        resp.body = "request timeout";
+        co_await stack_.TcpSend(*conn, RenderHttpResponse11(resp, false));
+        open = false;
+        break;
+      }
+      bool was_empty = framer.buffered() == 0;
+      std::vector<std::uint8_t> chunk = co_await conn->Read();
+      if (chunk.empty()) {
+        open = false;  // peer closed
+        break;
+      }
+      if (was_empty) {
+        request_start = machine_.exec().now();
+      }
+      framer.Append(chunk.data(), chunk.size());
+    }
+    if (!open) {
+      break;
+    }
+    if (framer.overflowed()) {
+      ++bad_requests_;
+      HttpResponse resp;
+      resp.status = 400;
+      resp.body = "bad request";
+      co_await stack_.TcpSend(*conn, RenderHttpResponse11(resp, false));
+      break;
+    }
+    // Serve the buffered burst of pipelined requests in order, bounded by
+    // max_pipeline per wakeup; depth beyond the bound closes the connection
+    // after serving the bounded prefix.
+    int burst = 0;
+    std::string text;
+    while (open && framer.PopRequest(&text)) {
+      bool last = false;
+      HttpRequest req;
+      HttpResponse resp;
+      if (!ParseHttpRequest(text, &req)) {
+        ++bad_requests_;
+        resp.status = 400;
+        resp.body = "bad request";
+        last = true;
+      } else {
+        resp = co_await Handle(req);
+      }
+      ++served_on_conn;
+      ++burst;
+      if (!last && keep_.max_requests > 0 && served_on_conn >= keep_.max_requests) {
+        ++budget_closes_;  // per-connection request budget exhausted
+        last = true;
+      }
+      if (!last && keep_.max_pipeline > 0 && burst >= keep_.max_pipeline &&
+          framer.HasRequest()) {
+        ++pipeline_closes_;
+        last = true;
+      }
+      if (ServingCoreHalted(machine_, stack_.core())) {
+        co_return;
+      }
+      co_await stack_.TcpSend(*conn, RenderHttpResponse11(resp, !last));
+      if (last) {
+        open = false;
+      }
+    }
+    if (open && framer.buffered() > 0) {
+      request_start = machine_.exec().now();  // partial next request began now
+    }
+  }
+  co_await stack_.TcpClose(*conn);
+  stack_.Release(conn);
 }
 
 Task<> HttpServer::ShedConnection(net::NetStack::TcpConn* conn) {
   HttpResponse resp;
   resp.status = 503;
   resp.body = "overloaded";
-  co_await stack_.TcpSend(*conn, RenderHttpResponse(resp));
+  // Named local, not a ternary inside the co_await: a conditional operator's
+  // class-type temporary in an await expression trips a GCC coroutine
+  // frame-cleanup bug (both branch cleanups run -> double free).
+  std::string payload = keep_.enabled ? RenderHttpResponse11(resp, false)
+                                      : RenderHttpResponse(resp);
+  co_await stack_.TcpSend(*conn, payload);
   co_await stack_.TcpClose(*conn);
+  stack_.Release(conn);
 }
 
 Task<> HttpServer::Worker() {

@@ -43,6 +43,40 @@ bool ParseHttpRequest(const std::string& text, HttpRequest* out);
 // Renders a response with headers.
 std::string RenderHttpResponse(const HttpResponse& resp);
 
+// HTTP/1.1 variant: advertises keep-alive (or an explicit close on the
+// connection's last response). The legacy HTTP/1.0 renderer above is
+// untouched — golden transcripts depend on its exact bytes.
+std::string RenderHttpResponse11(const HttpResponse& resp, bool keep_alive);
+
+// Incremental request framer for keep-alive connections: bytes arrive in
+// arbitrary segment-sized chunks, possibly carrying several pipelined
+// requests back to back, possibly splitting one request (or its "\r\n\r\n"
+// terminator) across chunk boundaries. The framer's contract is that the
+// sequence of popped requests depends only on the concatenated byte stream,
+// never on where the chunk boundaries fell (the fuzz test asserts this).
+// A stream that exceeds kMaxRequestBytes without completing a request sets
+// overflowed() and the connection is answered 400 and closed.
+class HttpRequestFramer {
+ public:
+  void Append(const std::uint8_t* data, std::size_t len);
+  void Append(const std::string& chunk) {
+    Append(reinterpret_cast<const std::uint8_t*>(chunk.data()), chunk.size());
+  }
+  // True if a complete request ("\r\n\r\n"-terminated) is buffered.
+  bool HasRequest() const { return next_end_ != std::string::npos; }
+  // Pops the first complete request (terminator included); false if none.
+  bool PopRequest(std::string* out);
+  bool overflowed() const { return overflowed_; }
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  void Rescan(std::size_t from);
+  std::string buf_;
+  std::size_t next_end_ = std::string::npos;  // offset one past "\r\n\r\n"
+  std::size_t scan_from_ = 0;                 // resume point for the terminator scan
+  bool overflowed_ = false;
+};
+
 // The static page: paper serves a 4.1 KB page.
 std::string StaticIndexPage();
 
@@ -80,6 +114,24 @@ class HttpServer {
   };
   void SetAdmission(Admission a) { admission_ = a; }
 
+  // HTTP/1.1 keep-alive serving discipline. Off (the default) preserves the
+  // legacy one-request-per-connection HTTP/1.0 flow byte for byte. On, a
+  // connection serves up to `max_requests` requests (0 = unlimited), closes
+  // after `idle_timeout` cycles with no request in flight, allows at most
+  // `max_pipeline` already-complete pipelined requests queued at once
+  // (excess closes the connection after serving that many), and gives each
+  // request `header_deadline` cycles from its first byte to its terminator —
+  // the slowloris defense: a trickler's total budget, not a per-byte one.
+  // Deadline expiry answers 408 and counts as a shed (kRecoverShed cause 2).
+  struct KeepAlive {
+    bool enabled = false;
+    int max_requests = 0;
+    Cycles idle_timeout = 0;    // 0 = never idle out
+    int max_pipeline = 8;
+    Cycles header_deadline = 0; // 0 = no progress deadline
+  };
+  void SetKeepAlive(KeepAlive k) { keep_ = k; }
+
   // Enables the /buy?wid=N&sql=... write route (the TPC-W buy leg).
   void SetDbExec(DbExecFn fn) { db_exec_ = std::move(fn); }
 
@@ -92,9 +144,15 @@ class HttpServer {
   std::uint64_t requests_served() const { return requests_served_; }
   std::uint64_t shed_queue_full() const { return shed_queue_full_; }
   std::uint64_t shed_deadline() const { return shed_deadline_; }
+  std::uint64_t shed_progress() const { return shed_progress_; }
+  std::uint64_t idle_closes() const { return idle_closes_; }
+  std::uint64_t budget_closes() const { return budget_closes_; }
+  std::uint64_t pipeline_closes() const { return pipeline_closes_; }
+  std::uint64_t bad_requests() const { return bad_requests_; }
 
  private:
   Task<> ServeConnection(net::NetStack::TcpConn* conn);
+  Task<> ServeConnectionKeepAlive(net::NetStack::TcpConn* conn);
   // Answers 503 and closes; the cheap path that keeps shedding graceful.
   Task<> ShedConnection(net::NetStack::TcpConn* conn);
   // Admission-queue drainer; `workers` of these run when the policy is on.
@@ -107,11 +165,17 @@ class HttpServer {
   DbExecFn db_exec_;
   Cycles request_cost_;
   Admission admission_;
+  KeepAlive keep_;
   std::deque<std::pair<net::NetStack::TcpConn*, Cycles>> pending_;
   sim::Event pending_ready_;
   std::uint64_t requests_served_ = 0;
   std::uint64_t shed_queue_full_ = 0;
   std::uint64_t shed_deadline_ = 0;
+  std::uint64_t shed_progress_ = 0;    // slowloris: progress deadline → 408
+  std::uint64_t idle_closes_ = 0;      // keep-alive idle timeout fired
+  std::uint64_t budget_closes_ = 0;    // per-connection request budget hit
+  std::uint64_t pipeline_closes_ = 0;  // pipeline depth exceeded
+  std::uint64_t bad_requests_ = 0;     // malformed or oversized → 400
 };
 
 // Builds the TPC-W-like browsing database (items and authors tables).

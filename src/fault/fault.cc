@@ -19,6 +19,9 @@ const char* FaultKindName(FaultKind k) {
     case FaultKind::kLinkDelay: return "link-delay";
     case FaultKind::kWireDrop: return "wire-drop";
     case FaultKind::kWireDelay: return "wire-delay";
+    case FaultKind::kSynFlood: return "syn-flood";
+    case FaultKind::kSlowloris: return "slowloris";
+    case FaultKind::kConnChurn: return "conn-churn";
     case FaultKind::kNumKinds: break;
   }
   return "?";
@@ -169,6 +172,35 @@ FaultPlan& FaultPlan::WireDelay(int src_machine, int dst_machine, sim::Cycles ex
   return Add(s);
 }
 
+namespace {
+FaultSpec AttackSpec(FaultKind kind, sim::Cycles at, sim::Cycles until, int count,
+                     double probability, std::uint64_t seed) {
+  FaultSpec s;
+  s.kind = kind;
+  s.at = at;
+  s.until = until;
+  s.count = count;
+  s.probability = probability;
+  s.seed = seed;
+  return s;
+}
+}  // namespace
+
+FaultPlan& FaultPlan::SynFlood(sim::Cycles at, sim::Cycles until, int count,
+                               double probability, std::uint64_t seed) {
+  return Add(AttackSpec(FaultKind::kSynFlood, at, until, count, probability, seed));
+}
+
+FaultPlan& FaultPlan::Slowloris(sim::Cycles at, sim::Cycles until, int count,
+                                double probability, std::uint64_t seed) {
+  return Add(AttackSpec(FaultKind::kSlowloris, at, until, count, probability, seed));
+}
+
+FaultPlan& FaultPlan::ConnChurn(sim::Cycles at, sim::Cycles until, int count,
+                                double probability, std::uint64_t seed) {
+  return Add(AttackSpec(FaultKind::kConnChurn, at, until, count, probability, seed));
+}
+
 Injector::Injector(const FaultPlan& plan) {
   for (const FaultSpec& s : plan.specs()) {
     specs_.emplace_back(s);
@@ -315,6 +347,19 @@ sim::Cycles Injector::LinkExtra(sim::Cycles now) const {
     }
   }
   return extra;
+}
+
+bool Injector::ShouldEmitAttack(FaultKind kind, sim::Cycles now) {
+  return Consume(kind, now, -1, -1) != nullptr;
+}
+
+bool Injector::AttackWindowArmed(FaultKind kind, sim::Cycles now) const {
+  for (const SpecState& st : specs_) {
+    if (st.spec.kind == kind && Armed(st.spec, now)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool Injector::AllSpecsActivated() const {

@@ -60,6 +60,9 @@ enum class FaultKind : std::uint8_t {
   kLinkDelay,     // cross-package interconnect transfers inflated by `extra`
   kWireDrop,      // cross-machine frame lost on a (src,dst) machine-pair wire
   kWireDelay,     // cross-machine wire latency inflated by `extra`
+  kSynFlood,      // adversarial: one forged spoofed-source SYN per firing
+  kSlowloris,     // adversarial: one slow-drip partial-request action per firing
+  kConnChurn,     // adversarial: one open/close churn connection per firing
   kNumKinds,
 };
 
@@ -138,6 +141,22 @@ class FaultPlan {
   // wire's conservative bound, so the engine's lookahead contract holds.
   FaultPlan& WireDelay(int src_machine, int dst_machine, sim::Cycles extra,
                        sim::Cycles at, sim::Cycles until = kForever);
+  // --- Adversarial traffic windows (ROADMAP item 5) ---
+  //
+  // Consumed by attack-load generator tasks in the serving benches (not by
+  // the hardware models): a generator paces candidate attack actions and
+  // performs one — a forged spoofed-source SYN, one slow-drip header
+  // fragment, one open/close churn connection — per successful consumption,
+  // so a plan's per-spec activation table counts exactly the attack units
+  // that actually hit the server. `probability` thins the generator's pacing
+  // (seeded stream); `count` caps total units; the [at, until) window bounds
+  // the attack so recovery-to-baseline can be gated after it ends.
+  FaultPlan& SynFlood(sim::Cycles at, sim::Cycles until, int count = kUnlimited,
+                      double probability = 1.0, std::uint64_t seed = 0);
+  FaultPlan& Slowloris(sim::Cycles at, sim::Cycles until, int count = kUnlimited,
+                       double probability = 1.0, std::uint64_t seed = 0);
+  FaultPlan& ConnChurn(sim::Cycles at, sim::Cycles until, int count = kUnlimited,
+                       double probability = 1.0, std::uint64_t seed = 0);
 
   FaultPlan& Add(const FaultSpec& spec);
   const std::vector<FaultSpec>& specs() const { return specs_; }
@@ -189,6 +208,12 @@ class Injector {
   sim::Cycles WireExtraDelay(sim::Cycles now, int src_machine, int dst_machine);
   // Non-consuming (interval-armed, unlimited): extra cross-package latency.
   sim::Cycles LinkExtra(sim::Cycles now) const;
+  // Adversarial-traffic query: true if an armed attack spec of `kind` wants
+  // one more attack unit emitted now (consuming; see the FaultPlan builders).
+  bool ShouldEmitAttack(FaultKind kind, sim::Cycles now);
+  // True while any spec of `kind` is armed (non-consuming window test — the
+  // benches use it to label attack phases without spending a firing).
+  bool AttackWindowArmed(FaultKind kind, sim::Cycles now) const;
 
   // Total injections performed per kind, summed across domains
   // (kCoreHalt/kLinkDelay are interval predicates and stay zero here).

@@ -4,12 +4,28 @@
 //
 // Functionally real: frames are built and parsed with checksums verified;
 // TCP runs a proper handshake/sequence-number state machine with go-back-N
-// retransmission (the retransmit timer is armed only while a fault::Injector
-// is installed — plain runs use a lossless, ordered link and schedule no
-// timer events). Processing costs are charged per frame on the stack's core:
-// a fixed per-packet software cost plus a per-byte checksum cost charged on
-// the L4 payload bytes actually summed (the paper's e1000 driver does not
-// use checksum offload).
+// retransmission. Processing costs are charged per frame on the stack's
+// core: a fixed per-packet software cost plus a per-byte checksum cost
+// charged on the L4 payload bytes actually summed (the paper's e1000 driver
+// does not use checksum offload).
+//
+// Two TCP disciplines coexist (DESIGN.md §15):
+//
+//   * legacy (default) — the paper-bench subset: the server completes accept
+//     on the SYN (2-way), close is a lone FIN, connections are never erased,
+//     and the retransmit timer is a per-connection coroutine armed only
+//     while a fault::Injector is installed. Byte-identical to every golden
+//     transcript recorded before the lifecycle work.
+//   * lifecycle (SetLifecycle) — connection-scale realism: a true 3-way
+//     handshake with a half-open SYN_RCVD state, FIN/ACK close with bounded
+//     TIME_WAIT, a capped half-open table defended by SYN-cookie stateless
+//     handshake completion, abandoned-connect sweeping, and *every*
+//     per-connection timer (retransmit, connect deadline, SYN_RCVD expiry,
+//     TIME_WAIT reap, read deadlines) carried by one hierarchical TimerWheel
+//     instead of ad-hoc per-connection timers. Connections live in a hashed
+//     connection table and are erased when their state machine terminates
+//     and the application has Release()d them, so 100k-connection churn
+//     leaks neither table entries nor wheel slots.
 #ifndef MK_NET_STACK_H_
 #define MK_NET_STACK_H_
 
@@ -22,6 +38,8 @@
 #include <string>
 
 #include "hw/machine.h"
+#include "net/conn_table.h"
+#include "net/timer_wheel.h"
 #include "net/wire.h"
 #include "recover/config.h"
 #include "sim/event.h"
@@ -42,8 +60,56 @@ struct StackCosts {
 };
 
 // TCP retransmission tuning (RTO, max retransmit rounds) lives in
-// recover::RecoveryConfig — see src/recover/config.h. It is consulted only
-// while a fault::Injector is installed.
+// recover::RecoveryConfig — see src/recover/config.h. In legacy mode it is
+// consulted only while a fault::Injector is installed; in lifecycle mode the
+// wheel-driven retransmit timer is always armed.
+
+// TCP connection states (lifecycle mode; legacy connections stay kLegacy and
+// bypass the state machine entirely).
+enum class TcpState : std::uint8_t {
+  kLegacy,
+  kSynSent,      // client, SYN out, handshake pending
+  kSynRcvd,      // server, SYN-ACK out, client ACK pending (half-open)
+  kEstablished,
+  kFinWait1,     // active close: our FIN out, not yet acked
+  kFinWait2,     // our FIN acked, peer's FIN pending
+  kClosing,      // simultaneous close: both FINs seen, our FIN not yet acked
+  kTimeWait,     // fully closed actively; parked for the bounded 2MSL
+  kCloseWait,    // passive close: peer's FIN seen, app has not closed yet
+  kLastAck,      // passive close: our FIN out, final ACK pending
+  kClosed,
+};
+
+// Why a lifecycle connection reached kClosed (close() counters are split by
+// these causes).
+enum class CloseCause : std::uint8_t {
+  kActiveFin,       // we closed first; FIN/ACK handshake + TIME_WAIT completed
+  kPassiveFin,      // peer closed first; our FIN's final ACK arrived
+  kReset,           // RST received
+  kConnectTimeout,  // client handshake abandoned (bounded TcpConnect)
+  kHalfOpenExpiry,  // server SYN_RCVD never completed (evicted)
+  kRetxAbort,       // retransmit rounds exhausted; peer presumed dead
+  kNumCauses,
+};
+inline constexpr std::size_t kNumCloseCauses =
+    static_cast<std::size_t>(CloseCause::kNumCauses);
+const char* CloseCauseName(CloseCause c);
+
+// Lifecycle-mode tuning. `enabled` flips the stack from the legacy subset to
+// the full state machine; the rest only applies when enabled.
+struct TcpLifecycle {
+  bool enabled = false;
+  // How long an actively-closed connection is parked in TIME_WAIT before its
+  // table entry is reaped (the bounded 2MSL).
+  Cycles time_wait = 400'000;
+  // How long a server half-open (SYN_RCVD) connection may wait for the
+  // client's ACK before being evicted.
+  Cycles syn_rcvd_timeout = 1'000'000;
+  // Half-open cap: at or above this many SYN_RCVD entries, new SYNs are
+  // answered with a stateless SYN-cookie SYN-ACK instead of creating state.
+  // 0 = uncapped (no cookies).
+  int max_half_open = 0;
+};
 
 class NetStack {
  public:
@@ -68,8 +134,15 @@ class NetStack {
   // fresh SYN that the survivor's listener accepts (flow adoption). Off by
   // default, and only active while a fault::Injector is installed — plain
   // runs never see re-steered flows, and keeping the path injector-gated
-  // guarantees they schedule no extra sends.
+  // guarantees they schedule no extra sends. (Lifecycle mode resets unknown
+  // flows unconditionally: cleanly-closed connections are erased, so a late
+  // segment deserves the RST.)
   void SetSendRstForUnknown(bool on) { send_rst_for_unknown_ = on; }
+
+  // Switches this stack to the full TCP lifecycle discipline (see the header
+  // comment). Must be set before any connection exists.
+  void SetLifecycle(TcpLifecycle cfg) { lifecycle_ = cfg; }
+  const TcpLifecycle& lifecycle() const { return lifecycle_; }
 
   // Feeds one received frame through the stack (charges processing costs).
   Task<> Input(Packet frame);
@@ -92,7 +165,7 @@ class NetStack {
   Task<> UdpSendTo(std::uint16_t src_port, Ipv4Addr dst_ip, std::uint16_t dst_port,
                    std::vector<std::uint8_t> payload);
 
-  // --- TCP (lossless-link subset) ---
+  // --- TCP ---
   class TcpConn {
    public:
     TcpConn(sim::Executor& exec) : readable(exec), closed_ev(exec) {}
@@ -113,8 +186,9 @@ class NetStack {
     std::uint32_t rcv_nxt = 0;
     // Retransmission state. The bookkeeping (snd_una, the unacked queue,
     // duplicate-ACK count) is maintained unconditionally — it adds no
-    // simulated events — but the retransmit timer that consumes it is only
-    // spawned while a fault::Injector is installed.
+    // simulated events — but the timer that consumes it is only armed while
+    // a fault::Injector is installed (legacy) or always (lifecycle, on the
+    // wheel).
     std::uint32_t snd_una = 0;  // oldest unacknowledged sequence number
     struct SentSeg {
       std::uint32_t seq = 0;
@@ -124,12 +198,30 @@ class NetStack {
     };
     std::deque<SentSeg> unacked;
     int dup_acks = 0;
-    bool retx_timer_running = false;
+    bool retx_timer_running = false;  // legacy coroutine timer
     // Set when a bounded TcpConnect gave up on the handshake. Late segments
     // for an abandoned connection are answered with RST (under injection):
     // a retransmitted SYN may have built a half-open connection on a server
     // that would otherwise pin an admission worker forever.
     bool abandoned = false;
+
+    // --- Lifecycle-mode state (inert for legacy connections) ---
+    TcpState state = TcpState::kLegacy;
+    CloseCause close_cause = CloseCause::kReset;
+    bool fin_sent = false;
+    std::uint32_t fin_seq = 0;        // sequence number our FIN occupied
+    int retx_tries = 0;
+    Cycles retx_rto = 0;
+    std::uint32_t retx_marker = 0;    // snd_una at last (re)arm, for progress
+    TimerWheel::TimerId retx_id = TimerWheel::kNoTimer;
+    TimerWheel::TimerId lifecycle_id = TimerWheel::kNoTimer;  // connect/SYN_RCVD/TIME_WAIT
+    TimerWheel::TimerId wait_id = TimerWheel::kNoTimer;       // WaitReadable deadline
+    bool wait_timed_out = false;
+    // Reap protocol: a terminal connection is erased from the table only
+    // when no suspended coroutine still references it (`pins`) and the
+    // application has released its pointer (`app_released`).
+    int pins = 0;
+    bool app_released = false;
   };
   class Listener {
    public:
@@ -143,12 +235,24 @@ class NetStack {
   // bounded and nullptr is returned (and the half-open connection torn down)
   // if the SYN-ACK does not arrive in time — open-loop load generators need
   // this so a shed SYN cannot wedge a client forever. 0 = wait indefinitely
-  // (the original behaviour; schedules no timer events).
+  // (the original behaviour; schedules no timer events in legacy mode). In
+  // lifecycle mode an abandoned connect is swept from the connection table,
+  // so its 4-tuple is immediately reusable.
   Task<TcpConn*> TcpConnect(Ipv4Addr dst_ip, std::uint16_t dst_port,
                             Cycles timeout = 0);
   Task<> TcpSend(TcpConn& conn, const std::uint8_t* data, std::size_t len);
   Task<> TcpSend(TcpConn& conn, const std::string& data);
   Task<> TcpClose(TcpConn& conn);
+  // Waits until `conn` has buffered data or a peer close, or until `timeout`
+  // cycles pass (0 = wait forever). Returns false only on a bare timeout.
+  // The deadline rides the timer wheel, so 100k idle keep-alive connections
+  // cost no per-wait heap allocation and no un-cancellable executor events.
+  Task<bool> WaitReadable(TcpConn& conn, Cycles timeout);
+  // Lifecycle mode: the application is done with `conn`'s pointer. The table
+  // entry is reaped once the state machine also finishes (and vice versa).
+  // Call after TcpClose (or after observing a close/reset). No-op in legacy
+  // mode, where connections are never erased.
+  void Release(TcpConn* conn);
 
   // Statistics. Drops are counted by cause; drops() is their sum.
   std::uint64_t frames_in() const { return frames_in_; }
@@ -165,9 +269,27 @@ class NetStack {
   std::uint64_t tcp_rsts_sent() const { return tcp_rsts_sent_; }
   std::uint64_t tcp_rsts_received() const { return tcp_rsts_received_; }
 
+  // --- Lifecycle-mode accounting (per core: one stack serves one core) ---
+  int established_count() const { return established_count_; }
+  int half_open_count() const { return half_open_count_; }
+  int time_wait_count() const { return time_wait_count_; }
+  int peak_established() const { return peak_established_; }
+  std::uint64_t closes(CloseCause c) const {
+    return closes_[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t syn_cookies_sent() const { return syn_cookies_sent_; }
+  std::uint64_t syn_cookie_accepts() const { return syn_cookie_accepts_; }
+  std::uint64_t syn_cookie_rejects() const { return syn_cookie_rejects_; }
+  std::uint64_t half_open_evicted() const { return half_open_evicted_; }
+  std::uint64_t time_wait_reaped() const { return time_wait_reaped_; }
+  std::uint64_t abandoned_swept() const { return abandoned_swept_; }
+  const ConnTable<TcpConn>& conn_table() const { return conns_; }
+  const TimerWheel& wheel() const { return wheel_; }
+
  private:
   Task<> Emit(Packet frame, std::size_t payload_len);
   Task<> HandleTcp(const ParsedFrame& f, const Packet& frame);
+  Task<> HandleTcpLifecycle(const ParsedFrame& f, const Packet& frame, TcpConn& c);
   Task<> SendTcpSegment(TcpConn& conn, TcpFlags flags, const std::uint8_t* data,
                         std::size_t len);
   // Re-sends a previously sent segment verbatim except for a fresh ack field;
@@ -175,12 +297,46 @@ class NetStack {
   Task<> SendTcpRaw(TcpConn& conn, std::uint32_t seq, TcpFlags flags,
                     const std::uint8_t* data, std::size_t len);
   // Go-back-N recovery loop for one connection; spawned (at most once per
-  // connection at a time) only while a fault::Injector is installed.
+  // connection at a time) only while a fault::Injector is installed. Legacy
+  // mode only — lifecycle retransmits ride the wheel.
   Task<> RetransmitTimer(TcpConn& conn);
   // Answers the segment described by `f` with a RST (used for unknown flows
   // re-steered onto this stack and for abandoned handshakes).
   Task<> SendRstForSegment(const ParsedFrame& f);
+  // Stateless segment send to an arbitrary peer (SYN-cookie SYN-ACKs).
+  Task<> SendStatelessSegment(Ipv4Addr dst_ip, std::uint16_t src_port,
+                              std::uint16_t dst_port, std::uint32_t seq,
+                              std::uint32_t ack, TcpFlags flags);
   MacAddr ResolveMac(Ipv4Addr ip) const;
+
+  // --- Lifecycle internals ---
+  std::uint32_t CookieFor(Ipv4Addr remote_ip, std::uint16_t remote_port,
+                          std::uint16_t local_port) const;
+  std::uint16_t AllocEphemeralPort(Ipv4Addr dst_ip, std::uint16_t dst_port);
+  // Single terminal-transition point: cancels timers, drops the unacked
+  // queue, counts the cause, wakes readers, and reaps if permitted.
+  void CloseConn(TcpConn& c, CloseCause cause);
+  void EnterTimeWait(TcpConn& c);
+  void LeaveState(TcpConn& c);  // decrements the counter c.state occupies
+  // Erases the conn from the table iff terminal, unpinned, and released.
+  void MaybeReap(TcpConn& c);
+  void ArmRetx(TcpConn& c, Cycles rto);
+  void RetxFire(TcpConn* c);
+  Task<> ResendWindow(TcpConn* c);
+  // RAII pin: keeps a conn out of the reaper while a coroutine that may
+  // suspend still holds a reference to it.
+  struct PinGuard {
+    NetStack* stack;
+    TcpConn* conn;
+    PinGuard(NetStack* s, TcpConn* c) : stack(s), conn(c) { ++c->pins; }
+    PinGuard(const PinGuard&) = delete;
+    PinGuard& operator=(const PinGuard&) = delete;
+    ~PinGuard() {
+      if (--conn->pins == 0) {
+        stack->MaybeReap(*conn);
+      }
+    }
+  };
 
   hw::Machine& machine_;
   int core_;
@@ -191,9 +347,13 @@ class NetStack {
   std::map<Ipv4Addr, MacAddr> arp_;
   std::map<std::uint16_t, std::unique_ptr<UdpSocket>> udp_;
   std::map<std::uint16_t, std::unique_ptr<Listener>> listeners_;
-  // Key: (remote ip, remote port, local port).
-  std::map<std::tuple<Ipv4Addr, std::uint16_t, std::uint16_t>, std::unique_ptr<TcpConn>>
-      conns_;
+  // Hashed connection table keyed by ConnKey(remote ip, remote port, local
+  // port). Legacy connections are inserted and never erased (their pointers
+  // must stay valid for the run); lifecycle connections are reaped when
+  // their state machine terminates.
+  ConnTable<TcpConn> conns_;
+  TimerWheel wheel_;
+  TcpLifecycle lifecycle_;
   std::uint16_t next_ephemeral_ = 49152;
   std::uint16_t ip_ident_ = 1;
   std::uint64_t frames_in_ = 0;
@@ -206,6 +366,18 @@ class NetStack {
   std::uint64_t tcp_rsts_sent_ = 0;
   std::uint64_t tcp_rsts_received_ = 0;
   bool send_rst_for_unknown_ = false;
+  // Lifecycle accounting.
+  int established_count_ = 0;
+  int half_open_count_ = 0;
+  int time_wait_count_ = 0;
+  int peak_established_ = 0;
+  std::uint64_t closes_[kNumCloseCauses] = {};
+  std::uint64_t syn_cookies_sent_ = 0;
+  std::uint64_t syn_cookie_accepts_ = 0;
+  std::uint64_t syn_cookie_rejects_ = 0;
+  std::uint64_t half_open_evicted_ = 0;
+  std::uint64_t time_wait_reaped_ = 0;
+  std::uint64_t abandoned_swept_ = 0;
 };
 
 }  // namespace mk::net

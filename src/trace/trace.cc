@@ -23,6 +23,7 @@ const char* CategoryName(Category c) {
     case Category::kNet: return "net";
     case Category::kFault: return "fault";
     case Category::kRecover: return "recover";
+    case Category::kConn: return "conn";
     case Category::kNumCategories: break;
   }
   return "?";
@@ -78,6 +79,14 @@ const char* EventName(EventId e) {
     case EventId::kRecoverDbRepoint: return "recover_db_repoint";
     case EventId::kRecoverDbRespawn: return "recover_db_respawn";
     case EventId::kRecoverShed: return "recover_shed";
+    case EventId::kConnSynRcvd: return "conn_syn_rcvd";
+    case EventId::kConnEstablished: return "conn_established";
+    case EventId::kConnCookieSent: return "conn_cookie_sent";
+    case EventId::kConnCookieAccept: return "conn_cookie_accept";
+    case EventId::kConnClose: return "conn_close";
+    case EventId::kConnTimeWait: return "conn_time_wait";
+    case EventId::kConnEvict: return "conn_evict";
+    case EventId::kConnTimeout: return "conn_timeout";
     case EventId::kNumEvents: break;
   }
   return "?";

@@ -57,6 +57,7 @@ enum class Category : std::uint8_t {
   kNet,        // NIC DMA, interrupts, driver rings
   kFault,      // injected faults and recovery actions (mk::fault)
   kRecover,    // membership view changes and failover actions (mk::recover)
+  kConn,       // TCP connection lifecycle (handshake, cookies, evict, timeout)
   kNumCategories,
 };
 
@@ -128,7 +129,15 @@ enum class EventId : std::uint8_t {
   kRecoverFlowAdopt,    // arg0 = adopting queue, arg1 = flow hash
   kRecoverDbRepoint,    // arg0 = dead replica shard, arg1 = new replica shard
   kRecoverDbRespawn,    // arg0 = replaced shard, arg1 = spare db core
-  kRecoverShed,         // arg0 = shed cause (0=queue-full, 1=deadline)
+  kRecoverShed,         // arg0 = shed cause (0=queue-full, 1=deadline, 2=progress)
+  kConnSynRcvd,         // half-open created; arg0 = remote ip, arg1 = remote port
+  kConnEstablished,     // arg0 = remote ip, arg1 = remote port
+  kConnCookieSent,      // stateless SYN-ACK; arg0 = remote ip, arg1 = cookie ISN
+  kConnCookieAccept,    // cookie ACK validated; arg0 = remote ip, arg1 = cookie ISN
+  kConnClose,           // conn left the table; arg0 = cause (net::CloseCause)
+  kConnTimeWait,        // active close parked; arg0 = remote ip, arg1 = remote port
+  kConnEvict,           // forced out; arg0 = cause (0=half-open expiry, 1=abandoned)
+  kConnTimeout,         // deadline fired; arg0 = kind (0=connect, 1=idle, 2=progress)
   kNumEvents,
 };
 

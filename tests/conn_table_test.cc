@@ -1,0 +1,186 @@
+// Tests for the open-addressed connection table: load-factor growth,
+// tombstone reuse on the probe path, pointer stability across rehashes, and
+// a 100k-op churn fuzz against a reference map with zero-leak accounting.
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/conn_table.h"
+
+namespace mk::net {
+namespace {
+
+struct Payload {
+  std::uint64_t tag = 0;
+};
+
+struct Rng {
+  std::uint64_t s;
+  explicit Rng(std::uint64_t seed) : s(seed * 2654435761u + 1) {}
+  std::uint64_t Next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+};
+
+TEST(ConnTable, InsertFindErase) {
+  ConnTable<Payload> t;
+  EXPECT_EQ(t.capacity(), 1024u);
+  Payload* p = t.Insert(42, std::make_unique<Payload>(Payload{7}));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(t.Find(42), p);
+  EXPECT_EQ(t.Find(43), nullptr);
+  EXPECT_EQ(t.live(), 1u);
+  std::unique_ptr<Payload> out = t.Erase(42);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->tag, 7u);
+  EXPECT_EQ(t.Find(42), nullptr);
+  EXPECT_EQ(t.live(), 0u);
+  EXPECT_EQ(t.tombstones(), 1u);
+  EXPECT_EQ(t.Erase(42), nullptr);  // double erase is a no-op
+}
+
+TEST(ConnTable, GrowsByDoublingUnderLoad) {
+  ConnTable<Payload> t;
+  const std::size_t initial = t.capacity();
+  for (std::uint64_t k = 1; k <= 4000; ++k) {
+    t.Insert(k, std::make_unique<Payload>(Payload{k}));
+  }
+  EXPECT_GE(t.capacity(), 2 * initial);
+  EXPECT_GE(t.rehashes(), 1u);
+  EXPECT_EQ(t.live(), 4000u);
+  EXPECT_EQ(t.peak_live(), 4000u);
+  // Every key still findable after the rehashes, with its value intact.
+  for (std::uint64_t k = 1; k <= 4000; ++k) {
+    Payload* p = t.Find(k);
+    ASSERT_NE(p, nullptr) << "key " << k;
+    EXPECT_EQ(p->tag, k);
+  }
+}
+
+TEST(ConnTable, PointersStableAcrossRehash) {
+  ConnTable<Payload> t;
+  std::vector<std::pair<std::uint64_t, Payload*>> held;
+  for (std::uint64_t k = 1; k <= 64; ++k) {
+    held.push_back({k, t.Insert(k, std::make_unique<Payload>(Payload{k}))});
+  }
+  const std::uint64_t before = t.rehashes();
+  for (std::uint64_t k = 1000; k < 6000; ++k) {
+    t.Insert(k, std::make_unique<Payload>(Payload{k}));
+  }
+  ASSERT_GT(t.rehashes(), before);  // the fill forced at least one rehash
+  for (auto [k, p] : held) {
+    EXPECT_EQ(t.Find(k), p) << "pointer for key " << k << " moved";
+    EXPECT_EQ(p->tag, k);
+  }
+}
+
+TEST(ConnTable, TombstonesReusedAndSweptByRehash) {
+  ConnTable<Payload> t;
+  // Fill-and-erase leaves a trail of tombstones.
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    t.Insert(k, std::make_unique<Payload>(Payload{k}));
+  }
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    t.Erase(k);
+  }
+  EXPECT_EQ(t.tombstones(), 500u);
+  // Reinsert the same keys: every insert lands on its old probe path and
+  // must reuse the tombstone there instead of consuming a fresh slot.
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    t.Insert(k, std::make_unique<Payload>(Payload{k + 1000}));
+  }
+  EXPECT_EQ(t.tombstones(), 0u);
+  EXPECT_EQ(t.live(), 500u);
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    ASSERT_NE(t.Find(k), nullptr);
+    EXPECT_EQ(t.Find(k)->tag, k + 1000);
+  }
+}
+
+// Sustained tombstone pressure without net growth must rehash (sweeping the
+// dead slots) rather than letting probe chains decay toward O(capacity).
+TEST(ConnTable, ChurnDoesNotAccumulateTombstonesForever) {
+  ConnTable<Payload> t;
+  std::uint64_t next = 1;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      t.Insert(next++, std::make_unique<Payload>());
+    }
+    for (std::uint64_t k = next - 300; k < next; ++k) {
+      t.Erase(k);
+    }
+  }
+  EXPECT_EQ(t.live(), 0u);
+  // The books balance and the dead never outgrow the table.
+  EXPECT_EQ(t.inserts(), t.erases());
+  EXPECT_LT(t.tombstones(), t.capacity());
+  EXPECT_GE(t.rehashes(), 1u);
+}
+
+TEST(ConnTable, ChurnFuzzAgainstReferenceMap) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    ConnTable<Payload> t;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(seed);
+    std::vector<std::uint64_t> keys;  // insertion-ordered candidates
+    for (int op = 0; op < 100'000; ++op) {
+      std::uint64_t roll = rng.Below(100);
+      if (roll < 50) {
+        std::uint64_t key = 1 + rng.Below(1u << 20);
+        if (ref.find(key) != ref.end()) {
+          continue;  // the stack never double-inserts a live 4-tuple
+        }
+        std::uint64_t tag = rng.Next();
+        t.Insert(key, std::make_unique<Payload>(Payload{tag}));
+        ref[key] = tag;
+        keys.push_back(key);
+      } else if (roll < 80 && !keys.empty()) {
+        std::uint64_t key = keys[rng.Below(keys.size())];
+        std::unique_ptr<Payload> got = t.Erase(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr) << "seed " << seed << " lost key " << key;
+          EXPECT_EQ(got->tag, it->second);
+          ref.erase(it);
+        }
+      } else if (!keys.empty()) {
+        std::uint64_t key = keys[rng.Below(keys.size())];
+        Payload* got = t.Find(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(got, nullptr) << "seed " << seed << " ghost key " << key;
+        } else {
+          ASSERT_NE(got, nullptr) << "seed " << seed << " lost key " << key;
+          EXPECT_EQ(got->tag, it->second);
+        }
+      }
+    }
+    // Zero leaks, from the table's own books alone.
+    EXPECT_EQ(t.live(), ref.size());
+    EXPECT_EQ(t.inserts() - t.erases(), t.live());
+    // Full sweep: everything the reference holds is still intact.
+    for (const auto& [key, tag] : ref) {
+      Payload* got = t.Find(key);
+      ASSERT_NE(got, nullptr) << "seed " << seed;
+      EXPECT_EQ(got->tag, tag);
+    }
+    // Drain and verify emptiness.
+    for (const auto& [key, tag] : ref) {
+      EXPECT_NE(t.Erase(key), nullptr);
+    }
+    EXPECT_EQ(t.live(), 0u);
+    EXPECT_EQ(t.inserts(), t.erases());
+  }
+}
+
+}  // namespace
+}  // namespace mk::net
